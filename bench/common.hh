@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Shared bench harness: loads the 90-trace suite (scaled by env
+ * CONSTABLE_TRACE_OPS, optionally truncated by CONSTABLE_SUITE_LIMIT),
+ * runs configurations in parallel, and prints the per-category tables the
+ * paper's figures report.
+ */
+
+#ifndef CONSTABLE_BENCH_COMMON_HH
+#define CONSTABLE_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "inspector/load_inspector.hh"
+#include "sim/runner.hh"
+#include "workloads/suite.hh"
+
+namespace constable {
+namespace bench {
+
+/** One prepared workload: spec, trace, and offline analysis. */
+struct Workload
+{
+    WorkloadSpec spec;
+    Trace trace;
+    LoadInspectorResult inspection;
+};
+
+inline size_t
+suiteLimit()
+{
+    if (const char* env = std::getenv("CONSTABLE_SUITE_LIMIT")) {
+        long v = std::atol(env);
+        if (v > 0)
+            return static_cast<size_t>(v);
+    }
+    return SIZE_MAX;
+}
+
+/** Generate (in parallel) the evaluation suite with offline inspection. */
+inline std::vector<Workload>
+prepareSuite(bool inspect = true)
+{
+    auto specs = paperSuite(defaultTraceOps());
+    if (specs.size() > suiteLimit())
+        specs.resize(suiteLimit());
+    std::vector<Workload> out(specs.size());
+    parallelFor(specs.size(), [&](size_t i) {
+        out[i].spec = specs[i];
+        out[i].trace = generateTrace(specs[i]);
+        if (inspect)
+            out[i].inspection = inspectLoads(out[i].trace);
+    });
+    return out;
+}
+
+/** Run one mechanism config over every workload, in parallel. */
+inline std::vector<RunResult>
+runAll(const std::vector<Workload>& suite,
+       const std::function<MechanismConfig(const Workload&)>& mech,
+       const CoreConfig& core = CoreConfig{}, bool use_gs_stats = true)
+{
+    std::vector<RunResult> out(suite.size());
+    std::vector<std::unordered_set<PC>> gs(suite.size());
+    parallelFor(suite.size(), [&](size_t i) {
+        gs[i] = suite[i].inspection.globalStablePcs();
+        SystemConfig cfg { core, mech(suite[i]) };
+        out[i] = runTrace(suite[i].trace, cfg,
+                          use_gs_stats ? &gs[i] : nullptr);
+    });
+    return out;
+}
+
+/** Per-category and overall geomean of per-workload ratios. */
+inline void
+printCategoryGeomeans(const std::string& header,
+                      const std::vector<Workload>& suite,
+                      const std::vector<std::vector<double>>& series,
+                      const std::vector<std::string>& series_names)
+{
+    std::map<std::string, std::vector<size_t>> byCat;
+    for (size_t i = 0; i < suite.size(); ++i)
+        byCat[suite[i].spec.category].push_back(i);
+
+    std::printf("%s\n", header.c_str());
+    std::printf("%-14s", "config");
+    for (const auto& [cat, idx] : byCat)
+        std::printf("%12s", cat.c_str());
+    std::printf("%12s\n", "GEOMEAN");
+    for (size_t s = 0; s < series.size(); ++s) {
+        std::printf("%-14s", series_names[s].c_str());
+        for (const auto& [cat, idxs] : byCat) {
+            std::vector<double> vals;
+            for (size_t i : idxs)
+                vals.push_back(series[s][i]);
+            std::printf("%12.4f", geomean(vals));
+        }
+        std::printf("%12.4f\n", geomean(series[s]));
+    }
+}
+
+/** Per-category and overall arithmetic mean (for fraction-type series). */
+inline void
+printCategoryMeans(const std::string& header,
+                   const std::vector<Workload>& suite,
+                   const std::vector<std::vector<double>>& series,
+                   const std::vector<std::string>& series_names,
+                   double scale = 100.0, const char* unit = "%")
+{
+    std::map<std::string, std::vector<size_t>> byCat;
+    for (size_t i = 0; i < suite.size(); ++i)
+        byCat[suite[i].spec.category].push_back(i);
+
+    std::printf("%s\n", header.c_str());
+    std::printf("%-26s", "series");
+    for (const auto& [cat, idx] : byCat)
+        std::printf("%12s", cat.c_str());
+    std::printf("%12s\n", "AVG");
+    for (size_t s = 0; s < series.size(); ++s) {
+        std::printf("%-26s", series_names[s].c_str());
+        for (const auto& [cat, idxs] : byCat) {
+            std::vector<double> vals;
+            for (size_t i : idxs)
+                vals.push_back(series[s][i]);
+            std::printf("%11.2f%s", scale * mean(vals), unit);
+        }
+        std::printf("%11.2f%s\n", scale * mean(series[s]), unit);
+    }
+}
+
+/** Box-and-whisker summary line per category (Figs 9, 18, 21). */
+inline void
+printCategoryBoxWhisker(const std::string& header,
+                        const std::vector<Workload>& suite,
+                        const std::vector<double>& samples)
+{
+    std::map<std::string, std::vector<double>> byCat;
+    for (size_t i = 0; i < suite.size(); ++i)
+        byCat[suite[i].spec.category].push_back(samples[i]);
+    std::printf("%s\n", header.c_str());
+    for (const auto& [cat, vals] : byCat) {
+        std::printf("  %-12s %s\n", cat.c_str(),
+                    BoxWhisker::from(vals).str().c_str());
+    }
+    std::printf("  %-12s %s\n", "ALL",
+                BoxWhisker::from(samples).str().c_str());
+}
+
+/** Ratio of speedups helper. */
+inline std::vector<double>
+speedups(const std::vector<RunResult>& test,
+         const std::vector<RunResult>& base)
+{
+    std::vector<double> out(test.size());
+    for (size_t i = 0; i < test.size(); ++i)
+        out[i] = speedup(test[i], base[i]);
+    return out;
+}
+
+} // namespace bench
+} // namespace constable
+
+#endif

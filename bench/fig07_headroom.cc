@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Reproduces paper Fig 7 (§4.4 headroom study): Ideal Stable LVP, Ideal
+ * Stable LVP + data-fetch elimination, 2x load execution width, and Ideal
+ * Constable, over the baseline.
+ * Paper reference: 1.043 / 1.0669 / 1.088 / 1.091.
+ */
+
+#include "bench/common.hh"
+
+using namespace constable;
+using namespace constable::bench;
+
+int
+main()
+{
+    auto suite = prepareSuite();
+    auto base = runAll(suite, [](const Workload&) { return baselineMech(); });
+    auto lvp = runAll(suite, [](const Workload& w) {
+        return idealMech(IdealMode::StableLvp,
+                         w.inspection.globalStablePcs());
+    });
+    auto nofetch = runAll(suite, [](const Workload& w) {
+        return idealMech(IdealMode::StableLvpNoFetch,
+                         w.inspection.globalStablePcs());
+    });
+    CoreConfig wide;
+    wide.loadPorts *= 2;
+    auto width2 = runAll(
+        suite, [](const Workload&) { return baselineMech(); }, wide);
+    auto ideal = runAll(suite, [](const Workload& w) {
+        return idealMech(IdealMode::Constable,
+                         w.inspection.globalStablePcs());
+    });
+
+    printCategoryGeomeans(
+        "Fig 7: headroom over baseline "
+        "(paper: LVP 1.043, LVP+noFetch 1.067, 2xWidth 1.088, Ideal 1.091)",
+        suite,
+        { speedups(lvp, base), speedups(nofetch, base),
+          speedups(width2, base), speedups(ideal, base) },
+        { "IdealLVP", "LVP+noFetch", "2xLoadWidth", "IdealConst" });
+    return 0;
+}

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Reproduces paper Fig 11: geomean speedup over the baseline (noSMT) of
+ * EVES, Constable, EVES+Constable, and EVES+Ideal Constable.
+ * Paper reference: 1.047 / 1.051 / 1.085 / 1.103.
+ */
+
+#include "bench/common.hh"
+
+using namespace constable;
+using namespace constable::bench;
+
+int
+main()
+{
+    auto suite = prepareSuite();
+    auto base = runAll(suite, [](const Workload&) { return baselineMech(); });
+    auto eves = runAll(suite, [](const Workload&) { return evesMech(); });
+    auto cons = runAll(suite,
+                       [](const Workload&) { return constableMech(); });
+    auto both = runAll(
+        suite, [](const Workload&) { return evesPlusConstableMech(); });
+    auto ideal = runAll(suite, [](const Workload& w) {
+        return evesPlusIdealConstableMech(w.inspection.globalStablePcs());
+    });
+
+    printCategoryGeomeans(
+        "Fig 11: speedup over baseline, noSMT "
+        "(paper: EVES 1.047, Constable 1.051, E+C 1.085, E+Ideal 1.103)",
+        suite,
+        { speedups(eves, base), speedups(cons, base), speedups(both, base),
+          speedups(ideal, base) },
+        { "EVES", "Constable", "EVES+Const", "EVES+Ideal" });
+    return 0;
+}

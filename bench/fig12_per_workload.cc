@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Reproduces paper Fig 12: per-workload speedup line graph (sorted by EVES
+ * speedup) for EVES, Constable and EVES+Constable. Paper reference:
+ * Constable beats EVES on 60 of 90 workloads (by 4.9% on average); EVES
+ * wins the remaining 30 (by 9.2%); the combination beats both everywhere.
+ */
+
+#include <algorithm>
+#include <numeric>
+
+#include "bench/common.hh"
+
+using namespace constable;
+using namespace constable::bench;
+
+int
+main()
+{
+    auto suite = prepareSuite();
+    auto base = runAll(suite, [](const Workload&) { return baselineMech(); });
+    auto eves = runAll(suite, [](const Workload&) { return evesMech(); });
+    auto cons = runAll(suite,
+                       [](const Workload&) { return constableMech(); });
+    auto both = runAll(
+        suite, [](const Workload&) { return evesPlusConstableMech(); });
+
+    auto se = speedups(eves, base);
+    auto sc = speedups(cons, base);
+    auto sb = speedups(both, base);
+
+    std::vector<size_t> order(suite.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(),
+              [&](size_t a, size_t b) { return se[a] < se[b]; });
+
+    std::printf("Fig 12: per-workload speedups, sorted by EVES gain\n");
+    std::printf("%4s %-34s%10s%10s%10s\n", "#", "workload", "EVES",
+                "Constable", "E+C");
+    unsigned consWins = 0;
+    double consWinMargin = 0, evesWinMargin = 0;
+    for (size_t rank = 0; rank < order.size(); ++rank) {
+        size_t i = order[rank];
+        std::printf("%4zu %-34s%10.3f%10.3f%10.3f\n", rank + 1,
+                    suite[i].spec.name.c_str(), se[i], sc[i], sb[i]);
+        if (sc[i] >= se[i]) {
+            ++consWins;
+            consWinMargin += sc[i] / se[i] - 1.0;
+        } else {
+            evesWinMargin += se[i] / sc[i] - 1.0;
+        }
+    }
+    size_t n = suite.size();
+    std::printf("\nConstable wins %u / %zu workloads (avg margin %.1f%%); "
+                "EVES wins %zu (avg margin %.1f%%)\n",
+                consWins, n,
+                consWins ? 100.0 * consWinMargin / consWins : 0.0,
+                n - consWins,
+                n - consWins ? 100.0 * evesWinMargin / (n - consWins) : 0.0);
+    std::printf("(paper: Constable wins 60/90 by 4.9%%; EVES wins 30 by "
+                "9.2%%)\n");
+    return 0;
+}

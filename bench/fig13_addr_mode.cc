@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Reproduces paper Fig 13: speedup when Constable eliminates only
+ * PC-relative, only stack-relative, or only register-relative loads,
+ * against the full mechanism. Paper reference: 1.011 / 1.026 / 1.018,
+ * nearly additive to the full 1.051.
+ */
+
+#include "bench/common.hh"
+
+using namespace constable;
+using namespace constable::bench;
+
+int
+main()
+{
+    auto suite = prepareSuite();
+    auto base = runAll(suite, [](const Workload&) { return baselineMech(); });
+    auto pc = runAll(suite, [](const Workload&) {
+        return constableModeOnlyMech(AddrMode::PcRel);
+    });
+    auto stack = runAll(suite, [](const Workload&) {
+        return constableModeOnlyMech(AddrMode::StackRel);
+    });
+    auto reg = runAll(suite, [](const Workload&) {
+        return constableModeOnlyMech(AddrMode::RegRel);
+    });
+    auto all = runAll(suite,
+                      [](const Workload&) { return constableMech(); });
+
+    printCategoryGeomeans(
+        "Fig 13: speedup by eliminated addressing mode "
+        "(paper: PC 1.011, stack 1.026, reg 1.018, all 1.051)",
+        suite,
+        { speedups(pc, base), speedups(stack, base), speedups(reg, base),
+          speedups(all, base) },
+        { "PC-rel only", "Stack only", "Reg only", "All loads" });
+    return 0;
+}

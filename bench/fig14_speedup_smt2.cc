@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Reproduces paper Fig 14: speedup over the baseline in the 2-way SMT
+ * configuration (45 pairs). Paper reference: EVES 1.036, Constable 1.088,
+ * EVES+Constable 1.113 — under SMT, Constable's load-resource relief
+ * dominates and it clearly outruns EVES.
+ */
+
+#include "bench/common.hh"
+
+using namespace constable;
+using namespace constable::bench;
+
+int
+main()
+{
+    auto suite = prepareSuite(false);
+    auto pairs = smtPairs(suite.size());
+
+    auto runPairs = [&](const MechanismConfig& mech) {
+        std::vector<RunResult> out(pairs.size());
+        parallelFor(pairs.size(), [&](size_t i) {
+            SystemConfig cfg { CoreConfig{}, mech };
+            out[i] = runSmtPair(suite[pairs[i].first].trace,
+                                suite[pairs[i].second].trace, cfg);
+        });
+        return out;
+    };
+
+    auto base = runPairs(baselineMech());
+    auto eves = runPairs(evesMech());
+    auto cons = runPairs(constableMech());
+    auto both = runPairs(evesPlusConstableMech());
+
+    auto gm = [&](const std::vector<RunResult>& rs) {
+        std::vector<double> s;
+        for (size_t i = 0; i < rs.size(); ++i)
+            s.push_back(speedup(rs[i], base[i]));
+        return geomean(s);
+    };
+
+    std::printf("Fig 14: SMT2 speedup over baseline, 45 pairs "
+                "(paper: EVES 1.036, Constable 1.088, E+C 1.113)\n");
+    std::printf("%-14s%12s\n", "config", "GEOMEAN");
+    std::printf("%-14s%12.4f\n", "EVES", gm(eves));
+    std::printf("%-14s%12.4f\n", "Constable", gm(cons));
+    std::printf("%-14s%12.4f\n", "EVES+Const", gm(both));
+    return 0;
+}

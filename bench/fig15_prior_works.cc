@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Reproduces paper Fig 15: Constable vs ELAR and RFP, standalone and
+ * combined. Paper reference: ELAR 1.007, RFP 1.0448, Constable 1.051,
+ * ELAR+Constable 1.054, RFP+Constable 1.081.
+ */
+
+#include "bench/common.hh"
+
+using namespace constable;
+using namespace constable::bench;
+
+int
+main()
+{
+    auto suite = prepareSuite();
+    auto base = runAll(suite, [](const Workload&) { return baselineMech(); });
+    auto elar = runAll(suite, [](const Workload&) { return elarMech(); });
+    auto rfp = runAll(suite, [](const Workload&) { return rfpMech(); });
+    auto cons = runAll(suite,
+                       [](const Workload&) { return constableMech(); });
+    auto ec = runAll(suite,
+                     [](const Workload&) { return elarPlusConstableMech(); });
+    auto rc = runAll(suite,
+                     [](const Workload&) { return rfpPlusConstableMech(); });
+
+    printCategoryGeomeans(
+        "Fig 15: Constable vs prior works "
+        "(paper: ELAR 1.007, RFP 1.045, Const 1.051, E+C 1.054, R+C 1.081)",
+        suite,
+        { speedups(elar, base), speedups(rfp, base), speedups(cons, base),
+          speedups(ec, base), speedups(rc, base) },
+        { "ELAR", "RFP", "Constable", "ELAR+Const", "RFP+Const" });
+    return 0;
+}

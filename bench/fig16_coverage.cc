@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Reproduces paper Fig 16: load coverage — the fraction of loads either
+ * value-predicted (EVES) or eliminated (Constable). Paper reference:
+ * EVES 27.3%, Constable 23.5%, EVES+Constable 35.5%, EVES+Ideal 41.6%.
+ */
+
+#include "bench/common.hh"
+
+using namespace constable;
+using namespace constable::bench;
+
+namespace {
+
+std::vector<double>
+coverage(const std::vector<RunResult>& rs)
+{
+    std::vector<double> out;
+    for (const auto& r : rs) {
+        out.push_back(ratio(r.stats.get("loads.eliminated") +
+                                r.stats.get("loads.vp"),
+                            r.stats.get("loads.retired")));
+    }
+    return out;
+}
+
+} // namespace
+
+int
+main()
+{
+    auto suite = prepareSuite();
+    auto eves = runAll(suite, [](const Workload&) { return evesMech(); });
+    auto cons = runAll(suite,
+                       [](const Workload&) { return constableMech(); });
+    auto both = runAll(
+        suite, [](const Workload&) { return evesPlusConstableMech(); });
+    auto ideal = runAll(suite, [](const Workload& w) {
+        return evesPlusIdealConstableMech(w.inspection.globalStablePcs());
+    });
+
+    printCategoryMeans(
+        "Fig 16: load coverage (paper: EVES 27.3%, Constable 23.5%, "
+        "E+C 35.5%, E+Ideal 41.6%)",
+        suite,
+        { coverage(eves), coverage(cons), coverage(both), coverage(ideal) },
+        { "EVES", "Constable", "EVES+Const", "EVES+Ideal" });
+    return 0;
+}

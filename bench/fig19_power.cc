@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Reproduces paper Fig 19: core dynamic power of EVES, Constable and
+ * EVES+Constable normalized to the baseline, with the OOO and MEU unit
+ * breakdowns. Paper reference: Constable -3.4% core power (EVES only
+ * -0.2%); RS sub-unit -5.1%; L1D sub-unit -9.1%.
+ */
+
+#include "bench/common.hh"
+#include "power/power.hh"
+
+using namespace constable;
+using namespace constable::bench;
+
+int
+main()
+{
+    auto suite = prepareSuite();
+    auto base = runAll(suite, [](const Workload&) { return baselineMech(); });
+    auto eves = runAll(suite, [](const Workload&) { return evesMech(); });
+    auto cons = runAll(suite,
+                       [](const Workload&) { return constableMech(); });
+    auto both = runAll(
+        suite, [](const Workload&) { return evesPlusConstableMech(); });
+
+    struct Agg
+    {
+        double total = 0, rs = 0, rat = 0, rob = 0, l1d = 0, dtlb = 0,
+               fe = 0, eu = 0;
+    };
+    auto aggregate = [&](const std::vector<RunResult>& rs) {
+        Agg a;
+        for (const auto& r : rs) {
+            PowerBreakdown b = computePower(r.stats);
+            a.total += b.total();
+            a.rs += b.oooRs;
+            a.rat += b.oooRat;
+            a.rob += b.oooRob;
+            a.l1d += b.meuL1d;
+            a.dtlb += b.meuDtlb;
+            a.fe += b.fe;
+            a.eu += b.eu;
+        }
+        return a;
+    };
+
+    Agg ab = aggregate(base), ae = aggregate(eves), ac = aggregate(cons),
+        a2 = aggregate(both);
+
+    auto row = [&](const char* name, const Agg& a) {
+        std::printf("%-12s%10.4f%10.4f%10.4f%10.4f%10.4f%10.4f\n", name,
+                    a.total / ab.total, a.fe / ab.fe, a.rs / ab.rs,
+                    a.rob / ab.rob, a.l1d / ab.l1d, a.dtlb / ab.dtlb);
+    };
+    std::printf("Fig 19: core dynamic energy normalized to baseline "
+                "(paper: Constable total 0.966, RS 0.949, L1D 0.909)\n");
+    std::printf("%-12s%10s%10s%10s%10s%10s%10s\n", "config", "total", "FE",
+                "OOO.RS", "OOO.ROB", "MEU.L1D", "MEU.DTLB");
+    row("baseline", ab);
+    row("EVES", ae);
+    row("Constable", ac);
+    row("EVES+Const", a2);
+    return 0;
+}

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Reproduces paper Fig 20 (appendix A.1): sensitivity of the baseline and
+ * Constable to (a) load execution width 3..6 and (b) pipeline-depth
+ * scaling 1..4x. Paper reference: Constable with 3 load units matches a
+ * baseline with one extra unit; Constable keeps adding ~3.4-5% at every
+ * scaling point.
+ */
+
+#include "bench/common.hh"
+
+using namespace constable;
+using namespace constable::bench;
+
+int
+main()
+{
+    auto suite = prepareSuite(false);
+
+    std::printf("Fig 20(a): load execution width sweep "
+                "(speedup over width-3 baseline)\n");
+    std::printf("%8s%12s%12s\n", "width", "baseline", "constable");
+    std::vector<RunResult> ref;
+    for (unsigned width = 3; width <= 6; ++width) {
+        CoreConfig core;
+        core.loadPorts = width;
+        auto b = runAll(suite, [](const Workload&) { return baselineMech(); },
+                        core, false);
+        auto c = runAll(suite,
+                        [](const Workload&) { return constableMech(); },
+                        core, false);
+        if (width == 3)
+            ref = b;
+        std::printf("%8u%12.4f%12.4f\n", width,
+                    geomean(speedups(b, ref)), geomean(speedups(c, ref)));
+    }
+
+    std::printf("\nFig 20(b): pipeline depth sweep "
+                "(speedup over 1x baseline)\n");
+    std::printf("%8s%12s%12s\n", "scale", "baseline", "constable");
+    ref.clear();
+    for (unsigned scale = 1; scale <= 4; ++scale) {
+        CoreConfig core;
+        core.depthScale = static_cast<double>(scale);
+        auto b = runAll(suite, [](const Workload&) { return baselineMech(); },
+                        core, false);
+        auto c = runAll(suite,
+                        [](const Workload&) { return constableMech(); },
+                        core, false);
+        if (scale == 1)
+            ref = b;
+        std::printf("%8u%12.4f%12.4f\n", scale,
+                    geomean(speedups(b, ref)), geomean(speedups(c, ref)));
+    }
+    return 0;
+}

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of Constable's hardware-structure
+ * models: SLD lookup/train, RMT insert/drain, AMT insert/invalidate, and
+ * the end-to-end engine rename path. These gauge simulator throughput
+ * (not hardware latency) so regressions in the model's hot paths surface.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/constable.hh"
+
+namespace constable {
+namespace {
+
+void
+BM_SldLookup(benchmark::State& state)
+{
+    Sld sld;
+    for (PC pc = 0; pc < 512; ++pc)
+        sld.train(0x400000 + 4 * pc, 0x1000 + 64 * pc, pc, false);
+    PC pc = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(sld.lookup(0x400000 + 4 * (pc++ % 512)));
+    }
+}
+BENCHMARK(BM_SldLookup);
+
+void
+BM_SldTrain(benchmark::State& state)
+{
+    Sld sld;
+    PC pc = 0;
+    for (auto _ : state) {
+        sld.train(0x400000 + 4 * (pc % 512), 0x1000, 42, false);
+        ++pc;
+    }
+}
+BENCHMARK(BM_SldTrain);
+
+void
+BM_RmtInsertDrain(benchmark::State& state)
+{
+    Rmt rmt;
+    std::vector<PC> evicted;
+    PC pc = 0;
+    for (auto _ : state) {
+        rmt.insert(RBX, 0x400000 + 4 * (pc++ % 8), evicted);
+        if (pc % 8 == 0) {
+            benchmark::DoNotOptimize(rmt.drainOnWrite(RBX));
+            evicted.clear();
+        }
+    }
+}
+BENCHMARK(BM_RmtInsertDrain);
+
+void
+BM_AmtInsertInvalidate(benchmark::State& state)
+{
+    Amt amt;
+    std::vector<PC> evicted;
+    Addr a = 0;
+    for (auto _ : state) {
+        amt.insert(0x10000 + 64 * (a % 128), 0x400000 + 4 * (a % 64),
+                   evicted);
+        if (a % 4 == 3)
+            benchmark::DoNotOptimize(
+                amt.invalidate(0x10000 + 64 * (a % 128)));
+        ++a;
+        evicted.clear();
+    }
+}
+BENCHMARK(BM_AmtInsertInvalidate);
+
+void
+BM_EngineRenamePath(benchmark::State& state)
+{
+    ConstableEngine engine;
+    // Warm one PC to elimination.
+    for (int i = 0; i < 40; ++i) {
+        ElimDecision d = engine.renameLoad(0x400000, AddrMode::PcRel);
+        if (d.eliminate) {
+            engine.releaseEliminated();
+            break;
+        }
+        engine.writebackLoad(0x400000, 0x1000, 42, d.likelyStable,
+                             { kNoReg, kNoReg, kNoReg });
+    }
+    for (auto _ : state) {
+        ElimDecision d = engine.renameLoad(0x400000, AddrMode::PcRel);
+        benchmark::DoNotOptimize(d);
+        if (d.eliminate)
+            engine.releaseEliminated();
+    }
+}
+BENCHMARK(BM_EngineRenamePath);
+
+} // namespace
+} // namespace constable
+
+BENCHMARK_MAIN();

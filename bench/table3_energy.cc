@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Reproduces paper Table 3: access energy, leakage power and area of
+ * Constable's structures at 14 nm (constants transcribed from the paper;
+ * CACTI is unavailable offline — see DESIGN.md).
+ */
+
+#include <cstdio>
+
+#include "core/storage.hh"
+
+using namespace constable;
+
+int
+main()
+{
+    std::printf("Table 3: Constable structure energy/leakage/area (14 nm)\n");
+    std::printf("%-28s%10s%10s%12s%10s\n", "component", "read pJ",
+                "write pJ", "leak mW", "area mm2");
+    for (const auto& row : constableEnergyTable()) {
+        std::printf("%-28s%10.2f%10.2f%12.2f%10.3f\n", row.name.c_str(),
+                    row.readPj, row.writePj, row.leakageMw, row.areaMm2);
+    }
+    return 0;
+}

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Scenario example: design-space exploration of Constable's own knobs —
+ * stability-confidence threshold, SLD capacity, and xPRF size — on one
+ * workload. Shows the coverage/safety trade-off the paper's threshold of
+ * 30 sits on: lower thresholds eliminate more but violate ordering more
+ * often; smaller SLDs lose coverage.
+ */
+
+#include <cstdio>
+
+#include "sim/runner.hh"
+#include "workloads/suite.hh"
+
+using namespace constable;
+
+int
+main()
+{
+    WorkloadSpec spec = smokeSuite(60'000)[1]; // Enterprise-class
+    Trace t = generateTrace(spec);
+    RunResult base = runTrace(t, { CoreConfig{}, baselineMech() });
+
+    std::printf("workload %s, baseline IPC %.2f\n\n", t.name.c_str(),
+                base.ipc());
+
+    std::printf("confidence-threshold sweep (paper uses 30):\n");
+    std::printf("%10s%12s%12s%14s\n", "threshold", "speedup", "elim %",
+                "violations");
+    for (unsigned thr : { 2u, 8u, 15u, 30u }) {
+        MechanismConfig m = constableMech();
+        m.constable.sld.confThreshold = static_cast<uint8_t>(thr);
+        RunResult r = runTrace(t, { CoreConfig{}, m });
+        std::printf("%10u%12.4f%11.1f%%%14.0f\n", thr, speedup(r, base),
+                    100.0 * r.stats.get("loads.eliminated") /
+                        r.stats.get("loads.retired"),
+                    r.stats.get("ordering.elimViolations"));
+    }
+
+    std::printf("\nSLD capacity sweep (paper: 512 entries):\n");
+    std::printf("%10s%12s%12s\n", "entries", "speedup", "elim %");
+    for (unsigned sets : { 4u, 8u, 16u, 32u }) {
+        MechanismConfig m = constableMech();
+        m.constable.sld.sets = sets;
+        RunResult r = runTrace(t, { CoreConfig{}, m });
+        std::printf("%10u%12.4f%11.1f%%\n", sets * 16, speedup(r, base),
+                    100.0 * r.stats.get("loads.eliminated") /
+                        r.stats.get("loads.retired"));
+    }
+
+    std::printf("\nxPRF size sweep (paper: 32 entries, 0.2%% rejects):\n");
+    std::printf("%10s%12s%14s\n", "entries", "speedup", "rejects");
+    for (unsigned xprf : { 4u, 8u, 16u, 32u, 64u }) {
+        MechanismConfig m = constableMech();
+        m.constable.xprfEntries = xprf;
+        RunResult r = runTrace(t, { CoreConfig{}, m });
+        std::printf("%10u%12.4f%14.0f\n", xprf, speedup(r, base),
+                    r.stats.get("constable.xprfRejected"));
+    }
+    return 0;
+}

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * gem5-style status/error helpers: fatal() for user errors, panic() for
+ * model bugs, warn()/inform() for diagnostics.
+ */
+
+#ifndef CONSTABLE_COMMON_LOGGING_HH
+#define CONSTABLE_COMMON_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace constable {
+
+/** Terminate the process because of a user/configuration error. */
+[[noreturn]] inline void
+fatal(const std::string& msg)
+{
+    std::fprintf(stderr, "fatal: %s\n", msg.c_str());
+    std::exit(1);
+}
+
+/** Terminate the process because of a simulator bug (invariant violation). */
+[[noreturn]] inline void
+panic(const std::string& msg)
+{
+    std::fprintf(stderr, "panic: %s\n", msg.c_str());
+    std::abort();
+}
+
+/** Non-fatal warning about questionable behaviour. */
+inline void
+warn(const std::string& msg)
+{
+    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+/** Informational status message. */
+inline void
+inform(const std::string& msg)
+{
+    std::fprintf(stderr, "info: %s\n", msg.c_str());
+}
+
+} // namespace constable
+
+#endif

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for the synthetic trace
+ * generator and the probabilistic confidence counters. A small xorshift-star
+ * generator keeps trace generation fast and fully reproducible from a seed.
+ */
+
+#ifndef CONSTABLE_COMMON_RNG_HH
+#define CONSTABLE_COMMON_RNG_HH
+
+#include <cstdint>
+
+namespace constable {
+
+/**
+ * 64-bit xorshift* PRNG. Deterministic from its seed; distinct streams are
+ * derived by seeding with splitmix64 of a master seed plus a stream id.
+ */
+class Rng
+{
+  public:
+    explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull)
+        : state(splitmix(seed ? seed : 1)) {}
+
+    /** Next raw 64-bit value. */
+    uint64_t
+    next()
+    {
+        uint64_t x = state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        state = x;
+        return x * 0x2545f4914f6cdd1dull;
+    }
+
+    /** Uniform integer in [0, n). n must be > 0. */
+    uint64_t
+    below(uint64_t n)
+    {
+        return next() % n;
+    }
+
+    /** Uniform integer in [lo, hi]. */
+    uint64_t
+    range(uint64_t lo, uint64_t hi)
+    {
+        return lo + below(hi - lo + 1);
+    }
+
+    /** Bernoulli draw with probability p (0..1). */
+    bool
+    chance(double p)
+    {
+        return static_cast<double>(next() >> 11) *
+               (1.0 / 9007199254740992.0) < p;
+    }
+
+    /** Uniform double in [0,1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+    }
+
+    /** splitmix64 hash step, also usable as a standalone mixing function. */
+    static uint64_t
+    splitmix(uint64_t x)
+    {
+        x += 0x9e3779b97f4a7c15ull;
+        x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+        x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+        return x ^ (x >> 31);
+    }
+
+  private:
+    uint64_t state;
+};
+
+} // namespace constable
+
+#endif

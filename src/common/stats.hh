@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Lightweight statistics toolkit: counters, histograms, box-and-whisker
+ * summaries (used throughout the paper's figures), and geometric means.
+ */
+
+#ifndef CONSTABLE_COMMON_STATS_HH
+#define CONSTABLE_COMMON_STATS_HH
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace constable {
+
+/** Ratio helper that tolerates zero denominators. */
+inline double
+ratio(double num, double den)
+{
+    return den == 0.0 ? 0.0 : num / den;
+}
+
+/** Geometric mean of a vector of positive values (returns 0 for empty). */
+double geomean(const std::vector<double>& v);
+
+/** Arithmetic mean (returns 0 for empty). */
+double mean(const std::vector<double>& v);
+
+/**
+ * Five-number summary used by the paper's box-and-whisker plots
+ * (Figs 9, 18, 21): quartiles, 1.5*IQR whiskers, and the mean.
+ */
+struct BoxWhisker
+{
+    double min = 0, q1 = 0, median = 0, q3 = 0, max = 0;
+    double whiskerLo = 0, whiskerHi = 0;
+    double meanVal = 0;
+    size_t n = 0;
+
+    /** Compute the summary from raw samples. */
+    static BoxWhisker from(std::vector<double> samples);
+
+    /** One-line rendering, e.g. for bench output tables. */
+    std::string str() const;
+};
+
+/**
+ * Fixed-bucket histogram with user-defined upper bin edges; the last bucket
+ * is open-ended. Used for inter-occurrence-distance breakdowns (Fig 3c/d)
+ * and SLD updates-per-cycle distributions (Fig 9a).
+ */
+class Histogram
+{
+  public:
+    /** @param edges ascending exclusive upper edges; a final +inf bucket is
+     *         appended automatically. */
+    explicit Histogram(std::vector<uint64_t> edges);
+
+    /** Record one sample. */
+    void add(uint64_t sample, uint64_t weight = 1);
+
+    uint64_t total() const { return totalCount; }
+    size_t numBuckets() const { return counts.size(); }
+    uint64_t bucketCount(size_t i) const { return counts.at(i); }
+
+    /** Fraction of samples in bucket i (0 if empty histogram). */
+    double bucketFrac(size_t i) const;
+
+    /** Human-readable bucket label, e.g. "[50,100)" or "250+". */
+    std::string bucketLabel(size_t i) const;
+
+  private:
+    std::vector<uint64_t> upperEdges;
+    std::vector<uint64_t> counts;
+    uint64_t totalCount = 0;
+};
+
+/**
+ * Named scalar counters grouped per simulation run. The core, memory
+ * hierarchy, Constable engine and power model all report through this so
+ * benches can diff configurations uniformly.
+ */
+class StatSet
+{
+  public:
+    /** Add delta to a named counter (creates it at zero first). */
+    void
+    inc(const std::string& name, uint64_t delta = 1)
+    {
+        vals[name] += static_cast<double>(delta);
+    }
+
+    /** Set/overwrite a named value. */
+    void set(const std::string& name, double v) { vals[name] = v; }
+
+    /** Read a counter; missing names read as 0. */
+    double
+    get(const std::string& name) const
+    {
+        auto it = vals.find(name);
+        return it == vals.end() ? 0.0 : it->second;
+    }
+
+    bool has(const std::string& name) const { return vals.count(name) > 0; }
+
+    const std::map<std::string, double>& all() const { return vals; }
+
+    /** Merge another set by summation (SMT thread aggregation). */
+    void merge(const StatSet& other);
+
+  private:
+    std::map<std::string, double> vals;
+};
+
+} // namespace constable
+
+#endif

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Fundamental scalar types shared across the Constable reproduction.
+ */
+
+#ifndef CONSTABLE_COMMON_TYPES_HH
+#define CONSTABLE_COMMON_TYPES_HH
+
+#include <cstdint>
+
+namespace constable {
+
+/** Absolute simulation cycle count. */
+using Cycle = uint64_t;
+
+/** Virtual or physical byte address. In this model the two spaces coincide. */
+using Addr = uint64_t;
+
+/** Program counter of a static instruction. */
+using PC = uint64_t;
+
+/** Global dynamic-instruction sequence number (program order). */
+using SeqNum = uint64_t;
+
+/** Hardware thread identifier (0 or 1 in SMT2). */
+using ThreadId = uint8_t;
+
+/** Sentinel for "no register". */
+inline constexpr uint8_t kNoReg = 0xff;
+
+/** Cacheline geometry shared by every cache level and by the AMT. */
+inline constexpr unsigned kLineBytes = 64;
+inline constexpr unsigned kLineShift = 6;
+
+/** Extract the cacheline (block) address of a byte address. */
+constexpr Addr
+lineAddr(Addr a)
+{
+    return a >> kLineShift;
+}
+
+} // namespace constable
+
+#endif

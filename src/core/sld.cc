@@ -1,0 +1,135 @@
+#include "core/sld.hh"
+
+#include "common/logging.hh"
+
+namespace constable {
+
+Sld::Sld(const SldConfig& cfg) : cfg(cfg), entries(cfg.sets * cfg.ways)
+{
+    if ((cfg.sets & (cfg.sets - 1)) != 0)
+        fatal("Sld: set count must be a power of two");
+}
+
+Sld::Entry*
+Sld::find(PC pc)
+{
+    unsigned set = setOf(pc);
+    for (unsigned w = 0; w < cfg.ways; ++w) {
+        Entry& e = entries[set * cfg.ways + w];
+        if (e.valid && e.tag == pc)
+            return &e;
+    }
+    return nullptr;
+}
+
+SldLookup
+Sld::lookup(PC pc)
+{
+    SldLookup r;
+    ++lookups;
+    Entry* e = find(pc);
+    if (!e)
+        return r;
+    e->lru = ++stamp;
+    r.hit = true;
+    r.canEliminate = e->canEliminate;
+    r.likelyStable = e->conf >= cfg.confThreshold;
+    r.addr = e->addr;
+    r.value = e->value;
+    return r;
+}
+
+bool
+Sld::train(PC pc, Addr addr, uint64_t value, bool arm_if_stable)
+{
+    Entry* e = find(pc);
+    if (!e) {
+        // Allocate: LRU victim within the set.
+        unsigned set = setOf(pc);
+        Entry* victim = &entries[set * cfg.ways];
+        for (unsigned w = 0; w < cfg.ways; ++w) {
+            Entry& cand = entries[set * cfg.ways + w];
+            if (!cand.valid) {
+                victim = &cand;
+                break;
+            }
+            if (cand.lru < victim->lru)
+                victim = &cand;
+        }
+        *victim = Entry{};
+        victim->valid = true;
+        victim->tag = pc;
+        victim->addr = addr;
+        victim->value = value;
+        victim->conf = 0;
+        victim->lru = ++stamp;
+        return false;
+    }
+
+    e->lru = ++stamp;
+    if (e->addr == addr && e->value == value) {
+        ++trainMatches;
+        if (e->conf < cfg.confMax)
+            ++e->conf;
+        if (arm_if_stable && !e->canEliminate) {
+            e->canEliminate = true;
+            ++arms;
+            return true;
+        }
+        return false;
+    }
+    ++trainMismatches;
+    e->conf /= 2;
+    e->addr = addr;
+    e->value = value;
+    e->canEliminate = false;
+    return false;
+}
+
+void
+Sld::resetCanEliminate(PC pc)
+{
+    Entry* e = find(pc);
+    if (e && e->canEliminate) {
+        e->canEliminate = false;
+        ++resets;
+    }
+}
+
+void
+Sld::halveConfidence(PC pc)
+{
+    Entry* e = find(pc);
+    if (!e)
+        return;
+    e->conf /= 2;
+    if (e->canEliminate) {
+        e->canEliminate = false;
+        ++resets;
+    }
+}
+
+void
+Sld::flushAll()
+{
+    for (Entry& e : entries)
+        e = Entry{};
+}
+
+double
+Sld::likelyStableFrac() const
+{
+    uint64_t valid = 0, stable = 0;
+    for (const Entry& e : entries) {
+        if (e.valid) {
+            ++valid;
+            if (e.conf >= cfg.confThreshold)
+                ++stable;
+        }
+    }
+    return valid == 0 ? 0.0
+                      : static_cast<double>(stable) /
+                            static_cast<double>(valid);
+}
+
+} // namespace constable

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Stable Load Detector (SLD): PC-indexed set-associative table that
+ * (1) identifies likely-stable loads via a 5-bit stability confidence
+ * counter, (2) decides whether an instance can be eliminated
+ * (can_eliminate flag), and (3) supplies the last-computed address and
+ * last-fetched value of the load (paper §6.1-6.2; Table 1 geometry:
+ * 512 entries, 32 sets x 16 ways).
+ */
+
+#ifndef CONSTABLE_CORE_SLD_HH
+#define CONSTABLE_CORE_SLD_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace constable {
+
+/** SLD geometry and learning parameters. */
+struct SldConfig
+{
+    unsigned sets = 32;
+    unsigned ways = 16;
+    /** Stability confidence threshold (paper: 30 with a 5-bit counter). */
+    uint8_t confThreshold = 30;
+    uint8_t confMax = 31;
+    unsigned readPorts = 3;
+    unsigned writePorts = 2;
+};
+
+/** Result of a rename-stage SLD lookup. */
+struct SldLookup
+{
+    bool hit = false;
+    bool canEliminate = false;
+    bool likelyStable = false;  ///< confidence has reached the threshold
+    Addr addr = 0;              ///< last-computed load address
+    uint64_t value = 0;         ///< last-fetched value
+};
+
+class Sld
+{
+  public:
+    explicit Sld(const SldConfig& cfg = SldConfig{});
+
+    /** Rename-stage lookup (consumes a read port at the call site). */
+    SldLookup lookup(PC pc);
+
+    /**
+     * Writeback-stage training of a non-eliminated load.
+     * Allocates the entry on a miss. Increments confidence when (addr,
+     * value) repeat; halves it otherwise (paper §6.2).
+     * @param arm_if_stable the instance was marked likely-stable at rename,
+     *        so a matching outcome sets can_eliminate (paper §6.4.1).
+     * @return true when can_eliminate was set by this call.
+     */
+    bool train(PC pc, Addr addr, uint64_t value, bool arm_if_stable);
+
+    /** Reset can_eliminate (RMT/AMT-triggered; paper steps 8). */
+    void resetCanEliminate(PC pc);
+
+    /** Halve the stability confidence and reset can_eliminate: applied when
+     *  an eliminated instance is caught by memory disambiguation and
+     *  re-executed (paper Fig 10 step G). */
+    void halveConfidence(PC pc);
+
+    /** Full invalidation (physical address mapping change, §6.7.3). */
+    void flushAll();
+
+    /** Fraction of valid entries currently above threshold (diagnostics). */
+    double likelyStableFrac() const;
+
+    const SldConfig& config() const { return cfg; }
+
+    uint64_t lookups = 0;
+    uint64_t trainMatches = 0;
+    uint64_t trainMismatches = 0;
+    uint64_t arms = 0;          ///< can_eliminate set events
+    uint64_t resets = 0;        ///< can_eliminate reset events
+
+  private:
+    struct Entry
+    {
+        PC tag = 0;
+        Addr addr = 0;
+        uint64_t value = 0;
+        uint8_t conf = 0;
+        bool canEliminate = false;
+        bool valid = false;
+        uint64_t lru = 0;
+    };
+
+    /** Hashed index to spread aligned code regions across sets. */
+    unsigned
+    setOf(PC pc) const
+    {
+        PC p = pc >> 2;
+        return static_cast<unsigned>((p ^ (p >> 5) ^ (p >> 10)) &
+                                     (cfg.sets - 1));
+    }
+    Entry* find(PC pc);
+
+    SldConfig cfg;
+    std::vector<Entry> entries;
+    uint64_t stamp = 0;
+};
+
+} // namespace constable
+
+#endif

@@ -1,0 +1,53 @@
+#include "core/storage.hh"
+
+namespace constable {
+
+std::vector<StorageRow>
+storageOverhead(const ConstableConfig& cfg)
+{
+    std::vector<StorageRow> rows;
+
+    StorageRow sld;
+    sld.name = "SLD";
+    sld.entries = static_cast<uint64_t>(cfg.sld.sets) * cfg.sld.ways;
+    sld.bitsPerEntry = 24 /*tag*/ + 32 /*addr*/ + 64 /*value*/ +
+                       5 /*confidence*/ + 1 /*can_eliminate*/;
+    rows.push_back(sld);
+
+    StorageRow rmt;
+    rmt.name = "RMT";
+    // 16 hashed PCs for each stack register, 8 for the other 14 registers.
+    rmt.entries = 2ull * cfg.rmt.stackRegPcs + 14ull * cfg.rmt.otherRegPcs;
+    rmt.bitsPerEntry = 24; // hashed load PC
+    rows.push_back(rmt);
+
+    StorageRow amt;
+    amt.name = "AMT";
+    amt.entries = static_cast<uint64_t>(cfg.amt.sets) * cfg.amt.ways;
+    amt.bitsPerEntry = 32 /*physical address tag*/ +
+                       24ull * cfg.amt.pcsPerEntry /*hashed load PCs*/;
+    rows.push_back(amt);
+
+    return rows;
+}
+
+double
+totalStorageKb(const ConstableConfig& cfg)
+{
+    double total = 0;
+    for (const auto& row : storageOverhead(cfg))
+        total += row.kb();
+    return total;
+}
+
+std::vector<EnergyRow>
+constableEnergyTable()
+{
+    return {
+        { "SLD (7.9KB, 3R/2W ports)", 10.76, 16.70, 1.02, 0.211 },
+        { "RMT (0.4KB, 2R/6W ports)", 0.15, 0.20, 0.31, 0.004 },
+        { "AMT (4.0KB, 1R/1W ports)", 1.58, 4.22, 0.74, 0.017 },
+    };
+}
+
+} // namespace constable

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Storage-overhead accounting (paper Table 1) and the CACTI-derived
+ * access-energy/leakage/area estimates for Constable's structures
+ * (paper Table 3, 14 nm). The bit-widths follow the paper: SLD entries
+ * store a 24 b tag, 32 b compressed address, 64 b value, 5 b confidence
+ * and the can_eliminate flag; the RMT stores 24 b hashed load PCs; AMT
+ * entries store a 32 b physical tag and four 24 b hashed load PCs.
+ */
+
+#ifndef CONSTABLE_CORE_STORAGE_HH
+#define CONSTABLE_CORE_STORAGE_HH
+
+#include <string>
+#include <vector>
+
+#include "core/constable.hh"
+
+namespace constable {
+
+/** One structure's storage accounting. */
+struct StorageRow
+{
+    std::string name;
+    uint64_t entries = 0;
+    uint64_t bitsPerEntry = 0;
+    double kb() const
+    {
+        return static_cast<double>(entries * bitsPerEntry) / 8.0 / 1024.0;
+    }
+};
+
+/** Compute Table 1 from a configuration. */
+std::vector<StorageRow> storageOverhead(const ConstableConfig& cfg);
+
+/** Total storage in KB (paper: 12.4 KB with default config). */
+double totalStorageKb(const ConstableConfig& cfg);
+
+/** Table 3: per-structure energy/leakage/area (14 nm). */
+struct EnergyRow
+{
+    std::string name;
+    double readPj = 0;
+    double writePj = 0;
+    double leakageMw = 0;
+    double areaMm2 = 0;
+};
+
+/** CACTI-7 22 nm estimates scaled to 14 nm, transcribed from the paper
+ *  (CACTI is not available offline; the consuming power model is ours). */
+std::vector<EnergyRow> constableEnergyTable();
+
+} // namespace constable
+
+#endif

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * xPRF: the small extra register file (32 entries) that holds the values
+ * of in-flight eliminated loads so their dependents can be woken without
+ * adding PRF write ports (paper §6.3). Modeled as an occupancy-tracked
+ * allocator: when it is full, the load is executed normally instead
+ * (observed rarely; paper reports 0.2%).
+ */
+
+#ifndef CONSTABLE_CORE_XPRF_HH
+#define CONSTABLE_CORE_XPRF_HH
+
+#include <cstdint>
+
+namespace constable {
+
+class Xprf
+{
+  public:
+    explicit Xprf(unsigned entries = 32) : capacity(entries) {}
+
+    /** Try to allocate a register for an eliminated load. */
+    bool
+    tryAlloc()
+    {
+        if (used >= capacity) {
+            ++allocFailures;
+            return false;
+        }
+        ++used;
+        ++allocs;
+        return true;
+    }
+
+    /** Release at retirement or squash of the eliminated load. */
+    void
+    release()
+    {
+        if (used > 0)
+            --used;
+    }
+
+    unsigned occupancy() const { return used; }
+    unsigned size() const { return capacity; }
+
+    uint64_t allocs = 0;
+    uint64_t allocFailures = 0;
+
+  private:
+    unsigned capacity;
+    unsigned used = 0;
+};
+
+} // namespace constable
+
+#endif

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Core configuration (paper Table 2, Golden-Cove-class) and the mechanism
+ * bundle selecting which load-optimization techniques are active.
+ */
+
+#ifndef CONSTABLE_CPU_CONFIG_HH
+#define CONSTABLE_CPU_CONFIG_HH
+
+#include "core/constable.hh"
+#include "mem/hierarchy.hh"
+#include "vp/ideal.hh"
+
+namespace constable {
+
+/** Pipeline geometry; defaults follow the paper's Table 2. */
+struct CoreConfig
+{
+    unsigned renameWidth = 6;
+    unsigned retireWidth = 6;
+
+    unsigned robEntries = 512;
+    unsigned lbEntries = 240;
+    unsigned sbEntries = 112;
+    unsigned rsEntries = 248;
+
+    unsigned aluPorts = 5;
+    /** Combined AGU + load-port units ("load execution width"). */
+    unsigned loadPorts = 3;
+    /** Cycles a load occupies its unit (bank conflicts, pick bandwidth and
+     *  replays make real L1D ports deliver < 1 load/cycle sustained; this
+     *  is what gives the paper its strong load-width sensitivity, Fig 20a). */
+    unsigned loadPortOccupancy = 2;
+    unsigned staPorts = 2;
+
+    unsigned branchMispredictPenalty = 20;
+    unsigned valueMispredictPenalty = 20;
+
+    unsigned aluLat = 1;
+    unsigned mulLat = 3;
+    unsigned divLat = 18;
+    unsigned fpLat = 4;
+    unsigned aguLat = 1;
+    unsigned storeForwardLat = 5;
+
+    /** 2-way SMT (two trace contexts share the core, §8.1). */
+    bool smt2 = false;
+
+    /** Scale ROB/LB/SB/RS together (Fig 20b pipeline-depth sweep). */
+    double depthScale = 1.0;
+
+    /** Memory hierarchy geometry/latencies (Table 2). */
+    HierarchyConfig mem;
+
+    /** Safety valve against model deadlock. */
+    uint64_t maxCycles = 500'000'000;
+
+    unsigned robPerThread() const
+    {
+        unsigned rob = static_cast<unsigned>(robEntries * depthScale);
+        return smt2 ? rob / 2 : rob;
+    }
+    unsigned lbPerThread() const
+    {
+        unsigned lb = static_cast<unsigned>(lbEntries * depthScale);
+        return smt2 ? lb / 2 : lb;
+    }
+    unsigned sbPerThread() const
+    {
+        unsigned sb = static_cast<unsigned>(sbEntries * depthScale);
+        return smt2 ? sb / 2 : sb;
+    }
+    unsigned rsTotal() const
+    {
+        return static_cast<unsigned>(rsEntries * depthScale);
+    }
+};
+
+/** A ConstableConfig with the mechanism switched off (baseline default). */
+inline ConstableConfig
+disabledConstable()
+{
+    ConstableConfig c;
+    c.enabled = false;
+    return c;
+}
+
+/** Which optimizations run on top of the baseline. The paper's baseline
+ *  already includes MRN plus move/zero elimination, constant and branch
+ *  folding (always on in this core). */
+struct MechanismConfig
+{
+    bool mrn = true;
+    bool eves = false;
+    bool elar = false;
+    bool rfp = false;
+    ConstableConfig constable = disabledConstable();
+    IdealSpec ideal;
+    unsigned rfpLatency = 5;
+};
+
+} // namespace constable
+
+#endif

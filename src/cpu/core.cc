@@ -1,0 +1,1045 @@
+#include "cpu/core.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace constable {
+
+OooCore::OooCore(const CoreConfig& core_cfg, const MechanismConfig& mech_cfg,
+                 std::vector<const Trace*> traces,
+                 const std::unordered_set<PC>* global_stable)
+    : cfg(core_cfg), mech(mech_cfg), globalStable(global_stable),
+      memory(core_cfg.mem), engine(mech_cfg.constable)
+{
+    if (traces.empty() || traces.size() > 2)
+        fatal("OooCore: need 1 or 2 traces");
+    if (traces.size() == 2 && !cfg.smt2)
+        fatal("OooCore: two traces require smt2");
+
+    threads.resize(traces.size());
+    for (size_t i = 0; i < traces.size(); ++i) {
+        threads[i].trace = traces[i];
+        threads[i].renameMap.fill(Ref{});
+    }
+
+    size_t totalSlots = static_cast<size_t>(cfg.robPerThread()) *
+                            traces.size() + 8;
+    slots.resize(totalSlots);
+    freeSlots.reserve(totalSlots);
+    for (size_t i = 0; i < totalSlots; ++i)
+        freeSlots.push_back(static_cast<int>(totalSlots - 1 - i));
+
+    // Warm L2/LLC with the trace footprint (memory-state snapshot).
+    for (const ThreadCtx& t : threads) {
+        for (const MicroOp& op : t.trace->ops) {
+            if (op.isMem())
+                memory.warmLine(lineAddr(op.effAddr));
+        }
+    }
+
+    if (mech.constable.enabled && !mech.constable.cvBitPinning) {
+        // Constable-AMT-I: private-cache evictions kill AMT tracking.
+        memory.setL1EvictHook([this](Addr line, bool dirty) {
+            engine.onL1Evict(line);
+        });
+    }
+}
+
+bool
+OooCore::refValid(const Ref& r) const
+{
+    return r.slot >= 0 && slots[r.slot].valid && slots[r.slot].gen == r.gen;
+}
+
+int
+OooCore::allocSlot()
+{
+    if (freeSlots.empty())
+        return -1;
+    int s = freeSlots.back();
+    freeSlots.pop_back();
+    slots[s] = InFlight{};
+    slots[s].gen = genCounter++;
+    slots[s].valid = true;
+    return s;
+}
+
+void
+OooCore::freeSlot(int slot)
+{
+    slots[slot].valid = false;
+    freeSlots.push_back(slot);
+}
+
+void
+OooCore::schedule(int slot, EventKind kind, unsigned delay)
+{
+    if (delay == 0)
+        delay = 1;
+    if (delay >= kWheelSize)
+        delay = kWheelSize - 1;
+    wheel[(now + delay) % kWheelSize].push_back(
+        Event{ slot, slots[slot].gen, kind });
+}
+
+void
+OooCore::addReady(int slot)
+{
+    InFlight& e = at(slot);
+    e.state = State::Ready;
+    e.readyAt = now + 1;
+    readyQ[static_cast<unsigned>(portOf(e))].insert({ e.gen, slot });
+}
+
+void
+OooCore::removeReady(int slot)
+{
+    InFlight& e = at(slot);
+    readyQ[static_cast<unsigned>(portOf(e))].erase({ e.gen, slot });
+}
+
+OooCore::PortType
+OooCore::portOf(const InFlight& e) const
+{
+    if (e.op.isLoad())
+        return PortType::Load;
+    if (e.op.isStore())
+        return PortType::Sta;
+    if (e.op.cls == OpClass::Branch)
+        return PortType::Branch;
+    return PortType::Alu;
+}
+
+unsigned
+OooCore::pickThread() const
+{
+    if (threads.size() == 1)
+        return 0;
+    // ICOUNT-style: among fetchable threads, fewer in-flight ops wins; a
+    // frontend-blocked thread cedes the rename stage to its sibling.
+    auto weight = [this](const ThreadCtx& t) -> size_t {
+        if (t.done)
+            return SIZE_MAX;
+        if (now < t.frontendBlockedUntil || refValid(t.pendingBranch))
+            return SIZE_MAX - 1;
+        return t.rob.size();
+    };
+    size_t s0 = weight(threads[0]);
+    size_t s1 = weight(threads[1]);
+    return s0 <= s1 ? 0 : 1;
+}
+
+bool
+OooCore::overlaps(Addr a1, unsigned s1, Addr a2, unsigned s2) const
+{
+    return a1 < a2 + s2 && a2 < a1 + s1;
+}
+
+// ------------------------------------------------------------------ rename
+
+void
+OooCore::injectWrongPath(ThreadCtx& t)
+{
+    if (!mech.constable.enabled || !mech.constable.wrongPathUpdates)
+        return;
+    if (t.recentOps.empty())
+        return;
+    // Wrong-path micro-ops rename (and pollute the RMT/SLD) but are
+    // squashed before allocation, so they never hold ROB/RS resources.
+    for (unsigned w = 0; w < cfg.renameWidth; ++w) {
+        const MicroOp& op = t.recentOps[t.recentIdx++ % t.recentOps.size()];
+        if (op.dst != kNoReg) {
+            unsigned n = engine.renameDstWrite(op.dst);
+            sldUpdateTotal += n;
+        }
+    }
+}
+
+bool
+OooCore::renameOne(ThreadCtx& t, unsigned& loads_this_cycle,
+                   unsigned& sld_updates_this_cycle)
+{
+    if (t.traceIdx >= t.trace->ops.size())
+        return false;
+    const MicroOp& op = t.trace->ops[t.traceIdx];
+
+    // Structural resource checks (allocate stage).
+    if (t.rob.size() >= cfg.robPerThread()) {
+        ++stallRobFull;
+        return false;
+    }
+    bool classRenameDone =
+        op.cls == OpClass::Nop || op.cls == OpClass::Jump ||
+        op.cls == OpClass::Move || op.cls == OpClass::ZeroIdiom ||
+        op.cls == OpClass::StackAdj;
+    if (!classRenameDone && rsUsed >= cfg.rsTotal()) {
+        ++stallRsFull;
+        return false;
+    }
+    if (op.isLoad() && t.lbUsed >= cfg.lbPerThread()) {
+        ++stallLbFull;
+        return false;
+    }
+    if (op.isStore() && t.sbUsed >= cfg.sbPerThread()) {
+        ++stallSbFull;
+        return false;
+    }
+
+    // SLD read-port constraint: at most 3 load lookups per rename group
+    // (§6.7.1); a fourth load stalls the group to the next cycle.
+    if (op.isLoad() && mech.constable.enabled &&
+        loads_this_cycle >= engine.config().sld.readPorts) {
+        ++renameStallsSldRead;
+        return false;
+    }
+
+    int s = allocSlot();
+    if (s < 0)
+        return false;
+    InFlight& e = at(s);
+    e.op = op;
+    e.traceIdx = t.traceIdx;
+    e.seq = t.nextSeq;
+    e.tid = static_cast<ThreadId>(&t - threads.data());
+    ++robAllocs;
+    ++renamedOps;
+
+    // Branch direction prediction at fetch; jumps are branch-folded.
+    bool mispredict = false;
+    if (op.cls == OpClass::Branch) {
+        bool pred = branchPred.predict(op.pc);
+        branchPred.update(op.pc, op.taken);
+        mispredict = pred != op.taken;
+        if (mispredict)
+            ++branchMispredicts;
+    }
+
+    if (classRenameDone)
+        e.doneAtRename = true;
+
+    bool registerSrcDeps = !classRenameDone;
+
+    if (op.isLoad()) {
+        ++loads_this_cycle;
+        bool handled = false;
+
+        // Oracle configurations (Fig 7).
+        if (mech.ideal.mode != IdealMode::None &&
+            mech.ideal.stablePcs.count(op.pc)) {
+            if (mech.ideal.mode == IdealMode::Constable) {
+                e.idealEliminated = true;
+                e.doneAtRename = true;
+                e.lbAddr = op.effAddr;
+                e.lbAddrValid = true;
+                e.loadValueDelivered = true;
+                e.elimValue = op.value;
+                handled = true;
+            } else {
+                e.vpApplied = true;
+                e.valueAvailable = true;
+                if (mech.ideal.mode == IdealMode::StableLvpNoFetch)
+                    e.noDataFetch = true;
+                handled = true;
+            }
+        }
+
+        // Constable (steps 1-3 of Fig 8).
+        if (!handled && mech.constable.enabled) {
+            ElimDecision d = engine.renameLoad(op.pc, op.addrMode);
+            if (d.eliminate) {
+                e.eliminated = true;
+                e.xprfHeld = true;
+                e.doneAtRename = true;
+                e.lbAddr = d.addr;
+                e.lbAddrValid = true;
+                e.loadValueDelivered = true;
+                e.elimValue = d.value;
+                handled = true;
+            } else {
+                e.likelyStableMarked = d.likelyStable;
+            }
+        }
+
+        // EVES load value prediction.
+        if (!handled && mech.eves) {
+            ValuePrediction p = eves.predict(op.pc);
+            eves.notifyRename(op.pc);
+            e.evesTracked = true;
+            if (p.valid) {
+                e.vpApplied = true;
+                e.valueAvailable = true;
+                e.evesPredicted = true;
+                e.vpWrong = p.value != op.value;
+                if (e.vpWrong)
+                    ++vpWrongByPc[op.pc];
+                handled = true;
+            }
+        }
+
+        // Memory Renaming: forward from the predicted in-flight store.
+        if (!handled && mech.mrn) {
+            MrnPrediction p = mrn.predict(op.pc);
+            if (p.valid) {
+                auto it = t.lastStoreByPc.find(p.storePc);
+                if (it != t.lastStoreByPc.end() && refValid(it->second)) {
+                    const InFlight& st = at(it->second.slot);
+                    e.vpApplied = true;
+                    e.valueAvailable = true;
+                    e.mrnForwarded = true;
+                    e.vpWrong = st.op.value != op.value;
+                    if (e.vpWrong)
+                        ++vpWrongByPc[op.pc];
+                    ++mrn.predictions;
+                    if (e.vpWrong)
+                        ++mrn.misforwards;
+                    else
+                        ++mrn.correctForwards;
+                    handled = true;
+                }
+            }
+        }
+
+        // Register File Prefetching: early access via predicted address.
+        if (!handled && mech.rfp) {
+            RfpPrediction p = rfp.predict(op.pc);
+            if (p.valid) {
+                e.vpApplied = true;
+                e.rfpPredicted = true;
+                e.vpWrong = p.addr != op.effAddr;
+                schedule(s, EventKind::ValueAvail, mech.rfpLatency);
+                handled = true;
+            }
+        }
+
+        // ELAR: stack loads have their address resolved before execute.
+        if (mech.elar && op.addrMode == AddrMode::StackRel &&
+            !e.doneAtRename) {
+            e.elarReady = true;
+            registerSrcDeps = false; // address needs no register sources
+        }
+        if (e.doneAtRename)
+            registerSrcDeps = false;
+    }
+
+    // Register source dependences (rename lookup of the RAT).
+    if (registerSrcDeps) {
+        for (uint8_t src : op.src) {
+            if (src == kNoReg)
+                continue;
+            Ref w = t.renameMap[src];
+            if (!refValid(w))
+                continue;
+            InFlight& p = at(w.slot);
+            if (p.state == State::Done || p.doneAtRename ||
+                p.valueAvailable)
+                continue;
+            p.consumers.push_back(Ref{ s, e.gen });
+            ++e.pendingSrcs;
+        }
+    }
+
+    // Constable steps 7-8: every instruction's destination write drains the
+    // RMT and resets listed loads in the SLD; the SLD has 2 write ports, so
+    // a third update in one cycle stalls the rename group (§6.7.1).
+    bool stopAfterThis = false;
+    if (mech.constable.enabled && op.dst != kNoReg) {
+        unsigned n = engine.renameDstWrite(op.dst);
+        sld_updates_this_cycle += n;
+        sldUpdateTotal += n;
+        if (sld_updates_this_cycle > engine.config().sld.writePorts) {
+            ++renameStallsSldWrite;
+            stopAfterThis = true;
+        }
+    }
+
+    // Rename-map update with squash checkpoint.
+    e.dstReg = op.dst;
+    if (op.dst != kNoReg) {
+        e.prevWriter = t.renameMap[op.dst];
+        t.renameMap[op.dst] = Ref{ s, e.gen };
+        // The superseded writer's xPRF register can be reclaimed: its
+        // mapping is no longer architecturally visible and all in-flight
+        // consumers took their mapping at their own rename.
+        if (refValid(e.prevWriter)) {
+            InFlight& prev = at(e.prevWriter.slot);
+            if (prev.xprfHeld) {
+                prev.xprfHeld = false;
+                engine.releaseEliminated();
+            }
+        }
+    }
+
+    // Allocate downstream resources.
+    if (!e.doneAtRename) {
+        ++rsUsed;
+        e.inRs = true;
+        ++rsAllocs;
+    }
+    if (op.isLoad())
+        ++t.lbUsed;
+    if (op.isStore()) {
+        ++t.sbUsed;
+        t.storeList.push_back(s);
+        t.lastStoreByPc[op.pc] = Ref{ s, e.gen };
+    }
+    t.rob.push_back(s);
+
+    // Wrong-path template ring.
+    if (t.recentOps.size() < 32)
+        t.recentOps.push_back(op);
+    else
+        t.recentOps[e.seq % 32] = op;
+
+    if (e.doneAtRename) {
+        e.state = State::Done;
+        e.valueAvailable = true;
+    } else if (e.pendingSrcs == 0) {
+        addReady(s);
+    }
+
+    ++t.traceIdx;
+    ++t.nextSeq;
+
+    if (mispredict) {
+        // Frontend redirect: no younger op enters the pipeline until the
+        // branch resolves at execute plus the redirect penalty.
+        t.pendingBranch = Ref{ s, e.gen };
+        return false;
+    }
+    return !stopAfterThis;
+}
+
+void
+OooCore::renameStage()
+{
+    unsigned tid = pickThread();
+    ThreadCtx& t = threads[tid];
+    unsigned loadsThisCycle = 0;
+    unsigned sldUpdatesThisCycle = 0;
+
+    bool blocked = t.done || now < t.frontendBlockedUntil ||
+                   refValid(t.pendingBranch);
+    if (blocked) {
+        if (!t.done) {
+            ++stallFrontend;
+            if (refValid(t.pendingBranch))
+                ++stallPendingBranch;
+        }
+        if (refValid(t.pendingBranch))
+            injectWrongPath(t);
+    } else {
+        unsigned renamed = 0;
+        for (unsigned w = 0; w < cfg.renameWidth; ++w) {
+            if (!renameOne(t, loadsThisCycle, sldUpdatesThisCycle))
+                break;
+            ++renamed;
+        }
+        if (renamed == 0)
+            ++renameZeroCycles;
+    }
+    if (mech.constable.enabled) {
+        sldUpdateHist.add(sldUpdatesThisCycle);
+        ++sldUpdateCycles;
+    }
+}
+
+// ------------------------------------------------------------------- issue
+
+void
+OooCore::issueStage()
+{
+    unsigned capacity[4] = { cfg.aluPorts, cfg.loadPorts, cfg.staPorts,
+                             cfg.aluPorts };
+
+    // Replenish load-issue tokens (burst cap: one cycle's worth extra).
+    loadTokens = std::min(loadTokens + cfg.loadPorts, 2 * cfg.loadPorts);
+
+    // Branches first (they share ALU ports): fast branch resolution.
+    static const unsigned order[4] = { 3, 0, 1, 2 };
+    unsigned branchIssued = 0;
+    for (unsigned oi = 0; oi < 4; ++oi) {
+        unsigned ty = order[oi];
+        auto& q = readyQ[ty];
+        unsigned used = 0;
+        unsigned cap = capacity[ty];
+        if (ty == static_cast<unsigned>(PortType::Alu))
+            cap = cap > branchIssued ? cap - branchIssued : 0;
+        bool isLoadPort = ty == static_cast<unsigned>(PortType::Load);
+        bool gsIssued = false;
+        while (used < cap && !q.empty()) {
+            if (isLoadPort && loadTokens < cfg.loadPortOccupancy)
+                break;
+            auto it = q.begin();
+            int s = it->second;
+            q.erase(it);
+            InFlight& e = at(s);
+            e.state = State::Issued;
+            ++issueEvents;
+            if (e.inRs) {
+                e.inRs = false;
+                --rsUsed;
+            }
+            switch (e.op.cls) {
+              case OpClass::Load:
+                if (!e.elarReady)
+                    ++aguExecs;
+                schedule(s, EventKind::AguDone, cfg.aguLat);
+                loadTokens -= cfg.loadPortOccupancy;
+                if (globalStable && globalStable->count(e.op.pc))
+                    gsIssued = true;
+                break;
+              case OpClass::Store:
+                ++aguExecs;
+                schedule(s, EventKind::StaDone, cfg.aguLat);
+                break;
+              case OpClass::Mul:
+                ++aluExecs;
+                schedule(s, EventKind::ExecDone, cfg.mulLat);
+                break;
+              case OpClass::Div:
+                ++aluExecs;
+                schedule(s, EventKind::ExecDone, cfg.divLat);
+                break;
+              case OpClass::FpOp:
+                ++aluExecs;
+                schedule(s, EventKind::ExecDone, cfg.fpLat);
+                break;
+              default:
+                ++aluExecs;
+                schedule(s, EventKind::ExecDone, cfg.aluLat);
+                break;
+            }
+            ++used;
+        }
+        if (ty == static_cast<unsigned>(PortType::Branch))
+            branchIssued = used;
+        if (ty == static_cast<unsigned>(PortType::Load)) {
+            if (used > 0)
+                ++loadUtilCycles;
+            if (gsIssued) {
+                // Fig 6b: is a non-global-stable load waiting on the same
+                // ports this cycle?
+                bool nonGsWaiting = false;
+                for (const auto& [gen, slot] : q) {
+                    const InFlight& w = at(slot);
+                    if (!globalStable || !globalStable->count(w.op.pc)) {
+                        nonGsWaiting = true;
+                        break;
+                    }
+                }
+                if (nonGsWaiting)
+                    ++gsOccupiedWaitCycles;
+                else
+                    ++gsOccupiedNoWaitCycles;
+            }
+        }
+    }
+}
+
+// ------------------------------------------------------------- exec events
+
+void
+OooCore::handleEvent(int slot, uint64_t gen, EventKind kind)
+{
+    InFlight& e = at(slot);
+    if (!e.valid || e.gen != gen)
+        return; // squashed
+    switch (kind) {
+      case EventKind::AguDone:
+        onLoadAgu(slot);
+        break;
+      case EventKind::StaDone:
+        onStaDone(slot);
+        break;
+      case EventKind::ExecDone:
+        completeOp(slot);
+        break;
+      case EventKind::ValueAvail:
+        e.valueAvailable = true;
+        wakeConsumers(e);
+        break;
+    }
+}
+
+void
+OooCore::onLoadAgu(int slot)
+{
+    InFlight& e = at(slot);
+    ThreadCtx& t = threads[e.tid];
+    e.lbAddr = e.op.effAddr;
+    e.lbAddrValid = true;
+
+    // Memory dependence prediction: wait only on older unresolved stores in
+    // the same store set (aggressive OOO load issue otherwise).
+    Ssid lss = storeSets.lookup(e.op.pc);
+    int blocking = -1;
+    int fwdStore = -1;
+    for (int sid : t.storeList) {
+        InFlight& st = at(sid);
+        if (st.seq >= e.seq)
+            break;
+        if (!st.storeAddrResolved) {
+            if (lss != kInvalidSsid && storeSets.lookup(st.op.pc) == lss)
+                blocking = sid;
+        } else if (overlaps(st.op.effAddr, st.op.size, e.lbAddr,
+                            e.op.size)) {
+            fwdStore = sid; // keep the youngest older match
+        }
+    }
+    if (blocking >= 0) {
+        e.state = State::Blocked;
+        e.blockingStore = Ref{ blocking, at(blocking).gen };
+        blockedLoads.push_back(Ref{ slot, e.gen });
+        return;
+    }
+    if (fwdStore >= 0) {
+        // Store-to-load forwarding from the SB.
+        e.fwdFromStorePc = at(fwdStore).op.pc;
+        schedule(slot, EventKind::ExecDone, cfg.storeForwardLat);
+        return;
+    }
+    if (e.noDataFetch) {
+        // Ideal Stable LVP + data-fetch elimination: stop after the AGU.
+        schedule(slot, EventKind::ExecDone, 1);
+        return;
+    }
+    MemAccessResult res = memory.load(e.op.pc, e.op.effAddr);
+    schedule(slot, EventKind::ExecDone, std::max(1u, res.latency));
+}
+
+void
+OooCore::onStaDone(int slot)
+{
+    InFlight& st = at(slot);
+    ThreadCtx& t = threads[st.tid];
+    st.storeAddrResolved = true;
+
+    // Constable step 9: the generated store address probes the AMT and
+    // resets the elimination status of matching loads.
+    if (mech.constable.enabled)
+        engine.storeOrSnoopAddr(st.op.effAddr);
+
+    // Memory disambiguation: any younger load with a delivered value and an
+    // overlapping address violated ordering -> flush from that load.
+    int violPos = -1;
+    for (size_t i = 0; i < t.rob.size(); ++i) {
+        InFlight& ld = at(t.rob[i]);
+        if (ld.seq <= st.seq || !ld.op.isLoad())
+            continue;
+        if (!ld.lbAddrValid || !ld.loadValueDelivered)
+            continue;
+        // Oracle eliminations are correct by construction (global-stable
+        // loads never change value), so the limit study excludes them from
+        // ordering flushes; the retirement golden check still verifies.
+        if (ld.idealEliminated)
+            continue;
+        if (overlaps(st.op.effAddr, st.op.size, ld.lbAddr, ld.op.size)) {
+            violPos = static_cast<int>(i);
+            ++orderingViolations;
+            if (ld.eliminated) {
+                ++elimOrderingViolations;
+                engine.onEliminationViolation(ld.op.pc);
+            }
+            storeSets.merge(ld.op.pc, st.op.pc);
+            break;
+        }
+    }
+    if (violPos >= 0)
+        squashFrom(t, static_cast<size_t>(violPos),
+                   cfg.branchMispredictPenalty);
+
+    completeOp(slot);
+}
+
+void
+OooCore::wakeConsumers(InFlight& e)
+{
+    for (const Ref& r : e.consumers) {
+        if (!refValid(r))
+            continue;
+        InFlight& c = at(r.slot);
+        if (c.state != State::WaitDeps || c.pendingSrcs == 0)
+            continue;
+        if (--c.pendingSrcs == 0)
+            addReady(r.slot);
+    }
+    e.consumers.clear();
+}
+
+void
+OooCore::completeOp(int slot)
+{
+    InFlight& e = at(slot);
+    ThreadCtx& t = threads[e.tid];
+    e.state = State::Done;
+    e.valueAvailable = true;
+    wakeConsumers(e);
+
+    if (e.op.isLoad() && !e.eliminated && !e.idealEliminated) {
+        e.loadValueDelivered = true;
+        // Writeback-stage training. EVES/RFP train at commit instead
+        // (CVP-style): completion-time training would see out-of-order and
+        // replayed instances, which poisons stride learning.
+        if (mech.mrn)
+            mrn.train(e.op.pc, e.fwdFromStorePc);
+        if (mech.constable.enabled) {
+            // Close the writeback/store race: a store younger than this
+            // load may have already generated its (matching) address, so
+            // its AMT probe ran before this arm would insert its entry.
+            // Arming would eliminate with a value the store is about to
+            // change. Probe the SB for resolved younger matching stores
+            // and suppress the arm (unresolved ones are caught later by
+            // the normal AMT probe at their STA).
+            bool armBlocked = false;
+            for (int sid : t.storeList) {
+                InFlight& st2 = at(sid);
+                if (st2.seq > e.seq && st2.storeAddrResolved &&
+                    lineAddr(st2.op.effAddr) == lineAddr(e.op.effAddr)) {
+                    armBlocked = true;
+                    break;
+                }
+            }
+            // Steps 4-6: arm elimination for a likely-stable load.
+            bool armed = engine.writebackLoad(e.op.pc, e.op.effAddr,
+                                              e.op.value,
+                                              e.likelyStableMarked &&
+                                                  !armBlocked,
+                                              e.op.src);
+            if (armed && mech.constable.cvBitPinning)
+                directory.pin(lineAddr(e.op.effAddr));
+        }
+        // Value-speculation verification.
+        if (e.vpApplied && e.vpWrong) {
+            ++vpFlushes;
+            if (e.mrnForwarded)
+                mrn.punish(e.op.pc);
+            if (e.rfpPredicted)
+                rfp.punish(e.op.pc);
+            // Squash everything younger than the mispredicted load.
+            for (size_t i = 0; i < t.rob.size(); ++i) {
+                if (t.rob[i] == slot) {
+                    squashFrom(t, i + 1, cfg.valueMispredictPenalty);
+                    break;
+                }
+            }
+            e.vpWrong = false;
+        }
+    }
+
+    if (e.op.cls == OpClass::Branch && refValid(t.pendingBranch) &&
+        t.pendingBranch.slot == slot) {
+        // Mispredicted branch resolved: redirect after the penalty.
+        t.pendingBranch = Ref{};
+        t.frontendBlockedUntil = now + cfg.branchMispredictPenalty;
+        ++fbuBranch;
+    }
+}
+
+void
+OooCore::checkBlockedLoads()
+{
+    size_t w = 0;
+    for (size_t i = 0; i < blockedLoads.size(); ++i) {
+        Ref r = blockedLoads[i];
+        if (!refValid(r))
+            continue;
+        InFlight& e = at(r.slot);
+        if (e.state != State::Blocked)
+            continue;
+        bool storeGone = !refValid(e.blockingStore) ||
+                         at(e.blockingStore.slot).storeAddrResolved;
+        if (storeGone) {
+            e.state = State::Issued;
+            onLoadAgu(r.slot);
+            if (e.state == State::Blocked) {
+                // Re-blocked on another store; keep it in the list.
+                blockedLoads[w++] = Ref{ r.slot, e.gen };
+            }
+            continue;
+        }
+        blockedLoads[w++] = r;
+    }
+    blockedLoads.resize(w);
+}
+
+// ------------------------------------------------------------------ squash
+
+void
+OooCore::squashFrom(ThreadCtx& t, size_t rob_pos, Cycle restart_delay)
+{
+    if (rob_pos >= t.rob.size())
+        return;
+    size_t firstTraceIdx = at(t.rob[rob_pos]).traceIdx;
+    SeqNum firstSeq = at(t.rob[rob_pos]).seq;
+
+    for (size_t i = t.rob.size(); i-- > rob_pos;) {
+        int s = t.rob[i];
+        InFlight& e = at(s);
+        if (e.dstReg != kNoReg)
+            t.renameMap[e.dstReg] = e.prevWriter;
+        if (e.inRs)
+            --rsUsed;
+        if (e.state == State::Ready)
+            removeReady(s);
+        if (e.op.isLoad())
+            --t.lbUsed;
+        if (e.op.isStore())
+            --t.sbUsed;
+        if (e.eliminated && e.xprfHeld)
+            engine.releaseEliminated();
+        if (e.evesTracked)
+            eves.abortInflight(e.op.pc);
+        if (e.rfpPredicted)
+            rfp.abortInflight(e.op.pc);
+        freeSlot(s);
+    }
+    t.rob.resize(rob_pos);
+
+    // Rebuild the store list from surviving entries.
+    t.storeList.clear();
+    for (int s : t.rob) {
+        if (at(s).op.isStore())
+            t.storeList.push_back(s);
+    }
+
+    if (refValid(t.pendingBranch) && at(t.pendingBranch.slot).seq >= firstSeq)
+        t.pendingBranch = Ref{};
+
+    t.traceIdx = firstTraceIdx;
+    t.nextSeq = firstSeq;
+    t.frontendBlockedUntil =
+        std::max(t.frontendBlockedUntil, now + restart_delay);
+    ++fbuSquash;
+}
+
+// ------------------------------------------------------------------ retire
+
+void
+OooCore::deliverSnoops(ThreadCtx& t, size_t upto_trace_idx)
+{
+    const auto& snoops = t.trace->snoops;
+    while (t.snoopIdx < snoops.size() &&
+           snoops[t.snoopIdx].beforeSeq <= upto_trace_idx) {
+        Addr addr = snoops[t.snoopIdx].addr;
+        // Step 10: snoop probes the AMT; directory CV bit resets; caches
+        // invalidate the line.
+        if (mech.constable.enabled) {
+            engine.storeOrSnoopAddr(addr);
+            ++engine.snoopResets;
+        }
+        directory.snoopDelivered(lineAddr(addr));
+        memory.snoop(addr);
+        ++t.snoopIdx;
+    }
+}
+
+void
+OooCore::goldenCheck(const InFlight& e)
+{
+    if (!e.op.isLoad())
+        return;
+    if (e.eliminated || e.idealEliminated) {
+        if (e.lbAddr != e.op.effAddr || e.elimValue != e.op.value) {
+            goldenFailed = true;
+            char buf[160];
+            std::snprintf(buf, sizeof(buf),
+                          "golden check failed: pc=%#llx addr %#llx vs "
+                          "%#llx value %#llx vs %#llx",
+                          (unsigned long long)e.op.pc,
+                          (unsigned long long)e.lbAddr,
+                          (unsigned long long)e.op.effAddr,
+                          (unsigned long long)e.elimValue,
+                          (unsigned long long)e.op.value);
+            goldenMsg = buf;
+        }
+    }
+    // Executed loads fetch their value from the functional trace record,
+    // so their golden check is satisfied by construction.
+}
+
+void
+OooCore::retireStage()
+{
+    unsigned budget = cfg.retireWidth;
+    for (size_t round = 0; round < threads.size() && budget > 0; ++round) {
+        // Alternate priority between SMT threads cycle by cycle.
+        ThreadCtx& t =
+            threads[(round + static_cast<size_t>(now)) % threads.size()];
+        while (budget > 0 && !t.rob.empty()) {
+            int s = t.rob.front();
+            InFlight& e = at(s);
+            if (e.state != State::Done)
+                break;
+            deliverSnoops(t, e.traceIdx);
+            goldenCheck(e);
+
+            if (e.op.isLoad()) {
+                ++loadsRetired;
+                // Commit-time predictor training (in order, exactly once).
+                if (!e.eliminated && !e.idealEliminated) {
+                    if (mech.eves)
+                        eves.train(e.op.pc, e.op.value);
+                    if (mech.rfp)
+                        rfp.train(e.op.pc, e.op.effAddr);
+                }
+                bool gs = globalStable && globalStable->count(e.op.pc);
+                if (gs)
+                    ++gsLoadsRetired;
+                if (e.eliminated || e.idealEliminated) {
+                    ++loadsEliminatedRetired;
+                    ++loadsElimRetiredByMode[static_cast<unsigned>(
+                        e.op.addrMode)];
+                    if (gs)
+                        ++gsElimRetired;
+                    else
+                        ++nonGsElimRetired;
+                } else if (e.vpApplied) {
+                    ++loadsVpRetired;
+                }
+                --t.lbUsed;
+            }
+            if (e.op.isStore()) {
+                // Senior-store drain into the L1D.
+                memory.store(e.op.pc, e.op.effAddr);
+                --t.sbUsed;
+                if (!t.storeList.empty() && t.storeList.front() == s)
+                    t.storeList.pop_front();
+            }
+            if (e.eliminated && e.xprfHeld) {
+                e.xprfHeld = false;
+                engine.releaseEliminated();
+            }
+            if (e.op.isBranch())
+                eves.pushHistory(e.op.taken);
+
+            t.rob.pop_front();
+            freeSlot(s);
+            ++t.retired;
+            --budget;
+
+            if (t.traceIdx >= t.trace->ops.size() && t.rob.empty()) {
+                // Deliver any trailing snoops, then finish the context.
+                deliverSnoops(t, t.trace->ops.size());
+                t.done = true;
+                t.finishCycle = now;
+                break;
+            }
+        }
+    }
+}
+
+// -------------------------------------------------------------------- run
+
+RunResult
+OooCore::run()
+{
+    bool allDone = false;
+    while (!allDone && now < cfg.maxCycles) {
+        ++now;
+        auto& events = wheel[now % kWheelSize];
+        if (!events.empty()) {
+            std::vector<Event> todo;
+            todo.swap(events);
+            for (const Event& ev : todo)
+                handleEvent(ev.slot, ev.gen, ev.kind);
+        }
+        checkBlockedLoads();
+        retireStage();
+        issueStage();
+        renameStage();
+
+        allDone = true;
+        for (const ThreadCtx& t : threads)
+            allDone &= t.done;
+    }
+    if (!allDone)
+        panic("OooCore: exceeded maxCycles (model deadlock?)");
+
+    RunResult r;
+    r.cycles = now;
+    for (size_t i = 0; i < threads.size(); ++i) {
+        r.instructions += threads[i].retired;
+        r.threadInstructions[i] = threads[i].retired;
+        r.threadFinishCycle[i] = threads[i].finishCycle;
+    }
+    r.goldenCheckFailed = goldenFailed;
+    r.goldenCheckMessage = goldenMsg;
+    exportFinalStats(r);
+    return r;
+}
+
+void
+OooCore::exportFinalStats(RunResult& r)
+{
+    StatSet& s = r.stats;
+    s.set("cycles", static_cast<double>(now));
+    s.set("instructions", static_cast<double>(r.instructions));
+    s.set("ipc", r.ipc());
+    s.set("rob.allocs", static_cast<double>(robAllocs));
+    s.set("rs.allocs", static_cast<double>(rsAllocs));
+    s.set("issue.events", static_cast<double>(issueEvents));
+    s.set("renamed.ops", static_cast<double>(renamedOps));
+    s.set("exec.alu", static_cast<double>(aluExecs));
+    s.set("exec.agu", static_cast<double>(aguExecs));
+    s.set("branch.lookups", static_cast<double>(branchPred.lookups));
+    s.set("branch.mispredicts", static_cast<double>(branchMispredicts));
+    s.set("loads.retired", static_cast<double>(loadsRetired));
+    s.set("loads.eliminated", static_cast<double>(loadsEliminatedRetired));
+    s.set("loads.vp", static_cast<double>(loadsVpRetired));
+    s.set("loads.gs", static_cast<double>(gsLoadsRetired));
+    s.set("loads.gsEliminated", static_cast<double>(gsElimRetired));
+    s.set("loads.nonGsEliminated", static_cast<double>(nonGsElimRetired));
+    s.set("loads.elim.pcRel", static_cast<double>(loadsElimRetiredByMode[
+        static_cast<unsigned>(AddrMode::PcRel)]));
+    s.set("loads.elim.stackRel", static_cast<double>(loadsElimRetiredByMode[
+        static_cast<unsigned>(AddrMode::StackRel)]));
+    s.set("loads.elim.regRel", static_cast<double>(loadsElimRetiredByMode[
+        static_cast<unsigned>(AddrMode::RegRel)]));
+    s.set("ordering.violations", static_cast<double>(orderingViolations));
+    s.set("ordering.elimViolations",
+          static_cast<double>(elimOrderingViolations));
+    s.set("vp.flushes", static_cast<double>(vpFlushes));
+    s.set("eves.predictions", static_cast<double>(eves.predictions));
+    s.set("mrn.predictions", static_cast<double>(mrn.predictions));
+    s.set("mrn.misforwards", static_cast<double>(mrn.misforwards));
+    s.set("rfp.predictions", static_cast<double>(rfp.predictions));
+    s.set("cycles.loadUtil", static_cast<double>(loadUtilCycles));
+    s.set("cycles.gsOccupiedWait", static_cast<double>(gsOccupiedWaitCycles));
+    s.set("cycles.gsOccupiedNoWait",
+          static_cast<double>(gsOccupiedNoWaitCycles));
+    s.set("stall.frontend", static_cast<double>(stallFrontend));
+    s.set("stall.pendingBranch", static_cast<double>(stallPendingBranch));
+    s.set("fbu.branch", static_cast<double>(fbuBranch));
+    s.set("fbu.squash", static_cast<double>(fbuSquash));
+    s.set("stall.robFull", static_cast<double>(stallRobFull));
+    s.set("stall.rsFull", static_cast<double>(stallRsFull));
+    s.set("stall.lbFull", static_cast<double>(stallLbFull));
+    s.set("stall.sbFull", static_cast<double>(stallSbFull));
+    s.set("stall.renameZero", static_cast<double>(renameZeroCycles));
+    s.set("rename.stalls.sldRead", static_cast<double>(renameStallsSldRead));
+    s.set("rename.stalls.sldWrite",
+          static_cast<double>(renameStallsSldWrite));
+    s.set("sld.updates.total", static_cast<double>(sldUpdateTotal));
+    s.set("sld.updates.cycles", static_cast<double>(sldUpdateCycles));
+    s.set("sld.updates.perCycle",
+          ratio(static_cast<double>(sldUpdateTotal),
+                static_cast<double>(sldUpdateCycles)));
+    for (size_t b = 0; b < sldUpdateHist.numBuckets(); ++b) {
+        s.set("sld.updates.hist." + std::to_string(b),
+              sldUpdateHist.bucketFrac(b));
+    }
+    for (const auto& [pc, n] : vpWrongByPc) {
+        char buf[48];
+        std::snprintf(buf, sizeof(buf), "debug.vpwrong.%llx",
+                      (unsigned long long)pc);
+        s.set(buf, static_cast<double>(n));
+    }
+    s.set("directory.pins", static_cast<double>(directory.pinCount));
+    s.set("directory.snoops",
+          static_cast<double>(directory.snoopsDelivered));
+    memory.exportStats(s);
+    engine.exportStats(s);
+}
+
+} // namespace constable

@@ -1,0 +1,269 @@
+/**
+ * @file
+ * Trace-driven, cycle-level out-of-order core modeling the nine-stage
+ * pipeline of the paper's Fig 1 (fetch/decode/allocate/rename/issue/
+ * execute/memory/writeback/retire collapse here into rename, allocate,
+ * issue/execute, complete and retire events over explicit ROB/RS/LB/SB and
+ * issue-port resources). Supports the baseline rename optimizations (MRN,
+ * move/zero elimination, constant/branch folding), EVES/ELAR/RFP, the
+ * ideal oracle modes, and Constable itself, in noSMT or 2-way SMT.
+ *
+ * The trace is both the instruction stream and the functional reference:
+ * every retired load passes the paper's golden check (§8.5) comparing the
+ * microarchitecturally-delivered (address, value) against the trace.
+ */
+
+#ifndef CONSTABLE_CPU_CORE_HH
+#define CONSTABLE_CPU_CORE_HH
+
+#include <array>
+#include <deque>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/stats.hh"
+#include "cpu/config.hh"
+#include "mem/directory.hh"
+#include "mem/hierarchy.hh"
+#include "predictor/branch.hh"
+#include "predictor/storeset.hh"
+#include "trace/trace.hh"
+#include "vp/eves.hh"
+#include "vp/mrn.hh"
+#include "vp/rfp.hh"
+
+namespace constable {
+
+/** Outcome of one simulation run. */
+struct RunResult
+{
+    Cycle cycles = 0;
+    uint64_t instructions = 0;
+    std::array<uint64_t, 2> threadInstructions { 0, 0 };
+    std::array<Cycle, 2> threadFinishCycle { 0, 0 };
+    bool goldenCheckFailed = false;
+    std::string goldenCheckMessage;
+    StatSet stats;
+
+    double ipc() const
+    {
+        return cycles == 0 ? 0.0
+                           : static_cast<double>(instructions) /
+                                 static_cast<double>(cycles);
+    }
+};
+
+class OooCore
+{
+  public:
+    /**
+     * @param traces one trace (noSMT) or two (SMT2).
+     * @param global_stable optional offline-identified global-stable PCs
+     *        used only for statistics classification (Fig 6b, Fig 17).
+     */
+    OooCore(const CoreConfig& core_cfg, const MechanismConfig& mech_cfg,
+            std::vector<const Trace*> traces,
+            const std::unordered_set<PC>* global_stable = nullptr);
+
+    /** Run to completion of all trace contexts. */
+    RunResult run();
+
+  private:
+    // ------------------------------------------------------------ types
+    enum class State : uint8_t {
+        WaitDeps, Ready, Blocked, Issued, Done,
+    };
+    enum class EventKind : uint8_t {
+        ExecDone,    ///< non-memory op finished / load data returned
+        AguDone,     ///< load address generated -> memory stage
+        StaDone,     ///< store address resolved -> disambiguation
+        ValueAvail,  ///< speculative value delivered to dependents (RFP)
+    };
+    /** Branches share the ALU ports but issue with priority (fast branch
+     *  resolution keeps mispredict windows short). */
+    enum class PortType : uint8_t { Alu = 0, Load = 1, Sta = 2, Branch = 3 };
+
+    struct Ref
+    {
+        int slot = -1;
+        uint64_t gen = 0;
+    };
+
+    struct InFlight
+    {
+        MicroOp op;
+        uint64_t gen = 0;
+        size_t traceIdx = 0;
+        SeqNum seq = 0;       ///< per-thread program-order sequence
+        ThreadId tid = 0;
+        State state = State::WaitDeps;
+        bool valid = false;
+
+        bool inRs = false;
+        bool doneAtRename = false;
+        bool eliminated = false;        ///< Constable elimination
+        bool idealEliminated = false;
+        bool likelyStableMarked = false;
+        bool vpApplied = false;         ///< dependents woken speculatively
+        bool vpWrong = false;
+        bool valueAvailable = false;    ///< consumers need not wait
+        bool noDataFetch = false;       ///< ideal LVP-no-fetch (AGU only)
+        bool elarReady = false;         ///< address resolved at decode
+        bool mrnForwarded = false;
+        bool evesPredicted = false;
+        bool evesTracked = false;       ///< counted in E-Stride inflight
+        bool xprfHeld = false;          ///< owns an xPRF register
+        bool rfpPredicted = false;
+        PC fwdFromStorePc = 0;          ///< actual forwarding store (MRN train)
+
+        Addr lbAddr = 0;
+        bool lbAddrValid = false;
+        uint64_t elimValue = 0;         ///< SLD-provided value (golden check)
+        bool storeAddrResolved = false;
+        bool loadValueDelivered = false; ///< disambiguation "completed" bit
+
+        unsigned pendingSrcs = 0;
+        std::vector<Ref> consumers;
+        uint8_t dstReg = kNoReg;
+        Ref prevWriter;                 ///< rename-map checkpoint for squash
+        Ref blockingStore;              ///< MDP wait target
+        Cycle readyAt = 0;
+    };
+
+    struct ThreadCtx
+    {
+        const Trace* trace = nullptr;
+        size_t traceIdx = 0;
+        size_t snoopIdx = 0;
+        SeqNum nextSeq = 0;
+        std::deque<int> rob;            ///< slot ids in program order
+        std::deque<int> storeList;      ///< in-flight stores, program order
+        std::array<Ref, kMaxArchRegs> renameMap;
+        unsigned lbUsed = 0;
+        unsigned sbUsed = 0;
+        Cycle frontendBlockedUntil = 0;
+        Ref pendingBranch;              ///< unresolved mispredicted branch
+        std::vector<MicroOp> recentOps; ///< wrong-path template ring
+        size_t recentIdx = 0;
+        std::unordered_map<PC, Ref> lastStoreByPc;  ///< MRN producer lookup
+        uint64_t retired = 0;
+        Cycle finishCycle = 0;
+        bool done = false;
+    };
+
+    // ------------------------------------------------------------ stages
+    void renameStage();
+    bool renameOne(ThreadCtx& t, unsigned& loads_this_cycle,
+                   unsigned& sld_updates_this_cycle);
+    void injectWrongPath(ThreadCtx& t);
+    void issueStage();
+    void handleEvent(int slot, uint64_t gen, EventKind kind);
+    void onLoadAgu(int slot);
+    void onStaDone(int slot);
+    void completeOp(int slot);
+    void wakeConsumers(InFlight& e);
+    void retireStage();
+    void deliverSnoops(ThreadCtx& t, size_t upto_trace_idx);
+    void squashFrom(ThreadCtx& t, size_t rob_pos, Cycle restart_delay);
+    void checkBlockedLoads();
+
+    // ------------------------------------------------------------ helpers
+    int allocSlot();
+    void freeSlot(int slot);
+    InFlight& at(int slot) { return slots[slot]; }
+    bool refValid(const Ref& r) const;
+    void schedule(int slot, EventKind kind, unsigned delay);
+    void addReady(int slot);
+    void removeReady(int slot);
+    PortType portOf(const InFlight& e) const;
+    unsigned pickThread() const;
+    bool overlaps(Addr a1, unsigned s1, Addr a2, unsigned s2) const;
+    void goldenCheck(const InFlight& e);
+    void exportFinalStats(RunResult& r);
+
+    // ------------------------------------------------------------ members
+    CoreConfig cfg;
+    MechanismConfig mech;
+    std::vector<ThreadCtx> threads;
+    const std::unordered_set<PC>* globalStable;
+
+    MemHierarchy memory;
+    Directory directory;
+    TageLite branchPred;
+    StoreSets storeSets;
+    EvesPredictor eves;
+    MrnTable mrn;
+    RfpPredictor rfp;
+    ConstableEngine engine;
+
+    std::vector<InFlight> slots;
+    std::vector<int> freeSlots;
+    uint64_t genCounter = 1;
+
+    unsigned rsUsed = 0;
+    Cycle now = 0;
+
+    /** Ready queues per port type, ordered by (tid, seq) age. */
+    std::set<std::pair<uint64_t, int>> readyQ[4];
+    std::vector<Ref> blockedLoads;
+    /** Load-issue token bucket: loadPorts tokens arrive per cycle, each
+     *  issued load costs loadPortOccupancy tokens (sustained bandwidth
+     *  loadPorts / occupancy, age-fair across cycles). */
+    unsigned loadTokens = 0;
+
+    static constexpr unsigned kWheelSize = 2048;
+    struct Event
+    {
+        int slot;
+        uint64_t gen;
+        EventKind kind;
+    };
+    std::vector<std::vector<Event>> wheel { kWheelSize };
+
+    // ---------------------------------------------------------- statistics
+    StatSet stats;
+    Histogram sldUpdateHist { { 1, 2, 3, 4 } };
+    uint64_t sldUpdateCycles = 0;
+    uint64_t sldUpdateTotal = 0;
+    uint64_t loadUtilCycles = 0;
+    uint64_t gsOccupiedWaitCycles = 0;
+    uint64_t gsOccupiedNoWaitCycles = 0;
+    uint64_t robAllocs = 0;
+    uint64_t rsAllocs = 0;
+    uint64_t renameStallsSldRead = 0;
+    uint64_t renameStallsSldWrite = 0;
+    uint64_t elimOrderingViolations = 0;
+    uint64_t orderingViolations = 0;
+    uint64_t vpFlushes = 0;
+    uint64_t branchMispredicts = 0;
+    uint64_t loadsRetired = 0;
+    uint64_t loadsEliminatedRetired = 0;
+    uint64_t loadsVpRetired = 0;
+    uint64_t loadsElimRetiredByMode[4] = { 0, 0, 0, 0 };
+    uint64_t gsElimRetired = 0;
+    uint64_t nonGsElimRetired = 0;
+    uint64_t gsLoadsRetired = 0;
+    uint64_t aluExecs = 0;
+    uint64_t aguExecs = 0;
+    uint64_t issueEvents = 0;
+    uint64_t renamedOps = 0;
+    // Rename-stall attribution (first blocking reason per cycle).
+    uint64_t stallFrontend = 0;
+    uint64_t stallPendingBranch = 0;
+    uint64_t fbuBranch = 0;
+    uint64_t fbuSquash = 0;
+    uint64_t stallRobFull = 0;
+    uint64_t stallRsFull = 0;
+    uint64_t stallLbFull = 0;
+    uint64_t stallSbFull = 0;
+    uint64_t renameZeroCycles = 0;
+    std::unordered_map<PC, uint64_t> vpWrongByPc;
+    bool goldenFailed = false;
+    std::string goldenMsg;
+};
+
+} // namespace constable
+
+#endif

@@ -1,0 +1,82 @@
+#include "inspector/load_inspector.hh"
+
+namespace constable {
+
+double
+LoadInspectorResult::globalStableFrac() const
+{
+    return ratio(static_cast<double>(dynGlobalStableLoads),
+                 static_cast<double>(dynLoads));
+}
+
+double
+LoadInspectorResult::modeFrac(AddrMode m) const
+{
+    return ratio(static_cast<double>(
+                     dynGlobalStableByMode[static_cast<unsigned>(m)]),
+                 static_cast<double>(dynGlobalStableLoads));
+}
+
+std::unordered_set<PC>
+LoadInspectorResult::globalStablePcs() const
+{
+    std::unordered_set<PC> pcs;
+    for (const auto& [pc, info] : loads) {
+        if (info.globalStable)
+            pcs.insert(pc);
+    }
+    return pcs;
+}
+
+LoadInspectorResult
+inspectLoads(const Trace& trace)
+{
+    LoadInspectorResult r;
+    r.dynOps = trace.ops.size();
+
+    // Pass 1: classify static loads and record first-seen (addr, value).
+    struct Hist { uint64_t lastIdx = 0; bool seen = false; };
+    std::unordered_map<PC, Hist> prev;
+
+    for (size_t i = 0; i < trace.ops.size(); ++i) {
+        const MicroOp& op = trace.ops[i];
+        if (!op.isLoad())
+            continue;
+        ++r.dynLoads;
+        auto [it, inserted] = r.loads.try_emplace(op.pc);
+        StaticLoadInfo& info = it->second;
+        if (inserted) {
+            info.pc = op.pc;
+            info.mode = op.addrMode;
+            info.addr = op.effAddr;
+            info.value = op.value;
+        } else if (info.addr != op.effAddr || info.value != op.value) {
+            info.globalStable = false;
+        }
+        ++info.dynCount;
+    }
+
+    // Pass 2: dynamic accounting and distance histograms restricted to
+    // global-stable loads (the paper's Fig 3c/d population).
+    for (size_t i = 0; i < trace.ops.size(); ++i) {
+        const MicroOp& op = trace.ops[i];
+        if (!op.isLoad())
+            continue;
+        const StaticLoadInfo& info = r.loads.at(op.pc);
+        if (!info.globalStable)
+            continue;
+        ++r.dynGlobalStableLoads;
+        ++r.dynGlobalStableByMode[static_cast<unsigned>(op.addrMode)];
+        auto& h = prev[op.pc];
+        if (h.seen) {
+            uint64_t dist = static_cast<uint64_t>(i) - h.lastIdx;
+            r.distanceHist.add(dist);
+            r.distByMode[static_cast<unsigned>(op.addrMode)].add(dist);
+        }
+        h.lastIdx = static_cast<uint64_t>(i);
+        h.seen = true;
+    }
+    return r;
+}
+
+} // namespace constable

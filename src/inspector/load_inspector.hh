@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Load Inspector: the offline whole-trace analysis the paper open-sources
+ * as a binary-instrumentation tool (§4.2). Identifies global-stable loads
+ * (every dynamic instance fetched the same value from the same address),
+ * their addressing-mode mix, and inter-occurrence distances (Fig 3), and
+ * feeds the Ideal Constable / Ideal Stable LVP configurations (Fig 7).
+ */
+
+#ifndef CONSTABLE_INSPECTOR_LOAD_INSPECTOR_HH
+#define CONSTABLE_INSPECTOR_LOAD_INSPECTOR_HH
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/stats.hh"
+#include "trace/trace.hh"
+
+namespace constable {
+
+/** Per-static-load summary produced by the inspector. */
+struct StaticLoadInfo
+{
+    PC pc = 0;
+    AddrMode mode = AddrMode::None;
+    uint64_t dynCount = 0;
+    bool globalStable = true;     ///< same (addr, value) across all instances
+    Addr addr = 0;
+    uint64_t value = 0;
+};
+
+/** Whole-trace load analysis results. */
+class LoadInspectorResult
+{
+  public:
+    /** All static loads, keyed by PC. */
+    std::unordered_map<PC, StaticLoadInfo> loads;
+
+    uint64_t dynLoads = 0;
+    uint64_t dynGlobalStableLoads = 0;
+    uint64_t dynOps = 0;
+
+    /** Fraction of dynamic loads that are global-stable (Fig 3a). */
+    double globalStableFrac() const;
+
+    /** Distribution of global-stable dynamic loads by mode (Fig 3b). */
+    double modeFrac(AddrMode m) const;
+
+    /** Inter-occurrence-distance histogram of global-stable loads,
+     *  buckets [0,50) [50,100) [100,250) 250+ (Fig 3c). */
+    Histogram distanceHist = Histogram({ 50, 100, 250 });
+
+    /** Per-addressing-mode distance histograms (Fig 3d). */
+    Histogram distByMode[4] = {
+        Histogram({ 50, 100, 250 }), Histogram({ 50, 100, 250 }),
+        Histogram({ 50, 100, 250 }), Histogram({ 50, 100, 250 }),
+    };
+
+    /** PCs of global-stable loads (Ideal configurations). */
+    std::unordered_set<PC> globalStablePcs() const;
+
+    uint64_t dynGlobalStableByMode[4] = { 0, 0, 0, 0 };
+};
+
+/** Run the inspector over a trace. */
+LoadInspectorResult inspectLoads(const Trace& trace);
+
+} // namespace constable
+
+#endif

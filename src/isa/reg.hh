@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Architectural register model. The trace generator and core model an
+ * x86-64-like integer register file with 16 architectural registers, or 32
+ * when the APX mode (paper appendix B) is enabled.
+ */
+
+#ifndef CONSTABLE_ISA_REG_HH
+#define CONSTABLE_ISA_REG_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+
+namespace constable {
+
+/** x86-64 integer register indices. R16..R31 exist only in APX mode. */
+enum Reg : uint8_t {
+    RAX = 0, RCX, RDX, RBX, RSP, RBP, RSI, RDI,
+    R8, R9, R10, R11, R12, R13, R14, R15,
+    // APX extended registers
+    R16, R17, R18, R19, R20, R21, R22, R23,
+    R24, R25, R26, R27, R28, R29, R30, R31,
+};
+
+/** Baseline x86-64 architectural register count. */
+inline constexpr unsigned kNumArchRegs = 16;
+/** Register count with the APX extension (appendix B study). */
+inline constexpr unsigned kNumArchRegsApx = 32;
+/** Upper bound used to size tables. */
+inline constexpr unsigned kMaxArchRegs = 32;
+
+/** True for the two stack registers whose RMT entries are larger (Table 1). */
+constexpr bool
+isStackReg(uint8_t r)
+{
+    return r == RSP || r == RBP;
+}
+
+/** Printable register name. */
+std::string regName(uint8_t r);
+
+} // namespace constable
+
+#endif

@@ -1,0 +1,128 @@
+#include "mem/cache.hh"
+
+#include <bit>
+
+#include "common/logging.hh"
+
+namespace constable {
+
+Cache::Cache(const CacheConfig& cfg) : cfg(cfg)
+{
+    uint64_t numLines = static_cast<uint64_t>(cfg.sizeKB) * 1024 / kLineBytes;
+    if (cfg.ways == 0 || numLines % cfg.ways != 0)
+        fatal("Cache " + cfg.name + ": bad geometry");
+    sets = static_cast<unsigned>(numLines / cfg.ways);
+    if (!std::has_single_bit(sets))
+        fatal("Cache " + cfg.name + ": set count must be a power of two");
+    setShift = static_cast<unsigned>(std::countr_zero(sets));
+    lines.resize(numLines);
+}
+
+bool
+Cache::lookup(Addr line, bool is_write)
+{
+    unsigned set = setIndex(line);
+    Addr tag = tagOf(line);
+    for (unsigned w = 0; w < cfg.ways; ++w) {
+        Line& l = lines[set * cfg.ways + w];
+        if (l.valid && l.tag == tag) {
+            l.lru = ++stamp;
+            l.rrpv = 0;
+            l.dirty |= is_write;
+            ++hits;
+            return true;
+        }
+    }
+    ++misses;
+    return false;
+}
+
+bool
+Cache::contains(Addr line) const
+{
+    unsigned set = setIndex(line);
+    Addr tag = tagOf(line);
+    for (unsigned w = 0; w < cfg.ways; ++w) {
+        const Line& l = lines[set * cfg.ways + w];
+        if (l.valid && l.tag == tag)
+            return true;
+    }
+    return false;
+}
+
+unsigned
+Cache::victimWay(unsigned set)
+{
+    // Prefer an invalid way.
+    for (unsigned w = 0; w < cfg.ways; ++w) {
+        if (!lines[set * cfg.ways + w].valid)
+            return w;
+    }
+    if (cfg.policy == ReplPolicy::LRU) {
+        unsigned best = 0;
+        uint64_t bestStamp = UINT64_MAX;
+        for (unsigned w = 0; w < cfg.ways; ++w) {
+            const Line& l = lines[set * cfg.ways + w];
+            if (l.lru < bestStamp) {
+                bestStamp = l.lru;
+                best = w;
+            }
+        }
+        return best;
+    }
+    // RRIP: evict first line with max RRPV, aging the set until one exists.
+    for (;;) {
+        for (unsigned w = 0; w < cfg.ways; ++w) {
+            if (lines[set * cfg.ways + w].rrpv >= 3)
+                return w;
+        }
+        for (unsigned w = 0; w < cfg.ways; ++w)
+            ++lines[set * cfg.ways + w].rrpv;
+    }
+}
+
+void
+Cache::insert(Addr line, bool is_write, bool from_prefetch)
+{
+    unsigned set = setIndex(line);
+    Addr tag = tagOf(line);
+    // Refresh if already present (prefetch racing a demand fill).
+    for (unsigned w = 0; w < cfg.ways; ++w) {
+        Line& l = lines[set * cfg.ways + w];
+        if (l.valid && l.tag == tag) {
+            l.dirty |= is_write;
+            return;
+        }
+    }
+    unsigned w = victimWay(set);
+    Line& l = lines[set * cfg.ways + w];
+    if (l.valid) {
+        ++evictions;
+        if (evictHook) {
+            Addr victimLine = (l.tag << setShift) | set;
+            evictHook(victimLine, l.dirty);
+        }
+    }
+    l.valid = true;
+    l.tag = tag;
+    l.dirty = is_write;
+    l.lru = ++stamp;
+    l.rrpv = from_prefetch ? 3 : 2;
+}
+
+std::optional<bool>
+Cache::invalidate(Addr line)
+{
+    unsigned set = setIndex(line);
+    Addr tag = tagOf(line);
+    for (unsigned w = 0; w < cfg.ways; ++w) {
+        Line& l = lines[set * cfg.ways + w];
+        if (l.valid && l.tag == tag) {
+            l.valid = false;
+            return l.dirty;
+        }
+    }
+    return std::nullopt;
+}
+
+} // namespace constable

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Coherence-directory model for Constable's CV-bit pinning (paper §6.6).
+ * Tracks, per cacheline, whether the own core's core-valid (CV) bit is
+ * pinned because an eliminated load depends on that line. With pinning,
+ * snoops to the line are always delivered to the core even after a clean
+ * private-cache eviction; without pinning (the Constable-AMT-I variant),
+ * the core must instead invalidate AMT state on every L1D eviction.
+ */
+
+#ifndef CONSTABLE_MEM_DIRECTORY_HH
+#define CONSTABLE_MEM_DIRECTORY_HH
+
+#include <cstdint>
+#include <unordered_set>
+
+#include "common/types.hh"
+
+namespace constable {
+
+/** Single-core view of the directory's CV-bit state. */
+class Directory
+{
+  public:
+    /** Pin the own core's CV bit for a line (eliminated-load dependence). */
+    void
+    pin(Addr line)
+    {
+        if (pinned.insert(line).second)
+            ++pinCount;
+    }
+
+    /** Snoop delivery resets the CV bit (normal directory behaviour). */
+    void
+    snoopDelivered(Addr line)
+    {
+        pinned.erase(line);
+        ++snoopsDelivered;
+    }
+
+    /** Would a snoop to this line reach the core after a clean eviction? */
+    bool isPinned(Addr line) const { return pinned.count(line) > 0; }
+
+    size_t numPinned() const { return pinned.size(); }
+
+    uint64_t pinCount = 0;
+    uint64_t snoopsDelivered = 0;
+
+  private:
+    std::unordered_set<Addr> pinned;
+};
+
+} // namespace constable
+
+#endif

@@ -1,0 +1,39 @@
+#include "mem/dram.hh"
+
+namespace constable {
+
+Dram::Dram(const DramConfig& cfg)
+    : cfg(cfg),
+      banks(cfg.channels * cfg.ranksPerChannel * cfg.banksPerRank)
+{
+}
+
+unsigned
+Dram::access(Addr addr)
+{
+    ++accesses;
+    // Address interleave: line -> channel -> rank -> bank; row above that.
+    Addr line = lineAddr(addr);
+    unsigned chan = line % cfg.channels;
+    Addr l1 = line / cfg.channels;
+    unsigned rank = l1 % cfg.ranksPerChannel;
+    Addr l2 = l1 / cfg.ranksPerChannel;
+    unsigned bank = l2 % cfg.banksPerRank;
+    Addr row = l2 / cfg.banksPerRank / (cfg.rowBufferBytes / kLineBytes);
+
+    Bank& b = banks[(chan * cfg.ranksPerChannel + rank) * cfg.banksPerRank +
+                    bank];
+    unsigned latency;
+    if (b.rowValid && b.openRow == row) {
+        ++rowHits;
+        latency = cfg.tCas + cfg.busTransfer;
+    } else {
+        ++rowMisses;
+        latency = cfg.tRp + cfg.tRcd + cfg.tCas + cfg.busTransfer;
+        b.openRow = row;
+        b.rowValid = true;
+    }
+    return latency;
+}
+
+} // namespace constable

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * DDR4-like main-memory timing model: channels, ranks, banks, open-row
+ * policy, with the paper's Table 2 timings (tCAS = tRCD = tRP = 22 ns,
+ * converted to core cycles at 3.2 GHz).
+ */
+
+#ifndef CONSTABLE_MEM_DRAM_HH
+#define CONSTABLE_MEM_DRAM_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace constable {
+
+/** DRAM geometry/timing configuration. */
+struct DramConfig
+{
+    unsigned channels = 4;
+    unsigned ranksPerChannel = 2;
+    unsigned banksPerRank = 8;
+    unsigned rowBufferBytes = 2048;
+    unsigned tCas = 70;   ///< 22 ns @ 3.2 GHz
+    unsigned tRcd = 70;
+    unsigned tRp = 70;
+    unsigned busTransfer = 8;
+};
+
+/** Bank-state DRAM latency model. */
+class Dram
+{
+  public:
+    explicit Dram(const DramConfig& cfg = DramConfig{});
+
+    /** Latency in core cycles for an access to @p addr. */
+    unsigned access(Addr addr);
+
+    uint64_t rowHits = 0;
+    uint64_t rowMisses = 0;
+    uint64_t accesses = 0;
+
+  private:
+    DramConfig cfg;
+    struct Bank
+    {
+        Addr openRow = 0;
+        bool rowValid = false;
+    };
+    std::vector<Bank> banks;
+};
+
+} // namespace constable
+
+#endif

@@ -1,0 +1,43 @@
+#include "mem/dtlb.hh"
+
+namespace constable {
+
+Dtlb::Dtlb(unsigned entries, unsigned ways, unsigned miss_penalty)
+    : sets(entries / ways), ways(ways), missPenalty(miss_penalty),
+      table(entries)
+{
+}
+
+unsigned
+Dtlb::access(Addr addr)
+{
+    Addr vpn = addr >> 12;
+    unsigned set = vpn % sets;
+    for (unsigned w = 0; w < ways; ++w) {
+        Entry& e = table[set * ways + w];
+        if (e.valid && e.vpn == vpn) {
+            e.lru = ++stamp;
+            ++hits;
+            return 0;
+        }
+    }
+    ++misses;
+    // Fill the LRU way.
+    unsigned victim = 0;
+    uint64_t best = UINT64_MAX;
+    for (unsigned w = 0; w < ways; ++w) {
+        Entry& e = table[set * ways + w];
+        if (!e.valid) {
+            victim = w;
+            break;
+        }
+        if (e.lru < best) {
+            best = e.lru;
+            victim = w;
+        }
+    }
+    table[set * ways + victim] = Entry{ vpn, true, ++stamp };
+    return missPenalty;
+}
+
+} // namespace constable

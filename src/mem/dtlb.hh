@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Data TLB: small fully-counted translation structure. Translation in this
+ * model is identity (VA == PA); the DTLB exists for timing on misses and
+ * for the MEU power breakdown (Fig 19c).
+ */
+
+#ifndef CONSTABLE_MEM_DTLB_HH
+#define CONSTABLE_MEM_DTLB_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace constable {
+
+/** Set-associative DTLB over 4 KiB pages. */
+class Dtlb
+{
+  public:
+    Dtlb(unsigned entries = 64, unsigned ways = 4, unsigned miss_penalty = 20);
+
+    /** Translate; @return extra latency cycles (0 on hit). */
+    unsigned access(Addr addr);
+
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+
+  private:
+    struct Entry
+    {
+        Addr vpn = 0;
+        bool valid = false;
+        uint64_t lru = 0;
+    };
+    unsigned sets;
+    unsigned ways;
+    unsigned missPenalty;
+    uint64_t stamp = 0;
+    std::vector<Entry> table;
+};
+
+} // namespace constable
+
+#endif

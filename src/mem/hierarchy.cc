@@ -1,0 +1,128 @@
+#include "mem/hierarchy.hh"
+
+namespace constable {
+
+MemHierarchy::MemHierarchy(const HierarchyConfig& cfg)
+    : cfg(cfg), l1d(cfg.l1d), l2(cfg.l2), llc(cfg.llc), dram(cfg.dram)
+{
+}
+
+void
+MemHierarchy::setL1EvictHook(L1EvictHook hook)
+{
+    l1d.setEvictHook(std::move(hook));
+}
+
+MemAccessResult
+MemHierarchy::accessTimed(PC pc, Addr addr, bool is_write)
+{
+    Addr line = lineAddr(addr);
+    unsigned latency = dtlb.access(addr);
+    ++dtlbAccesses;
+
+    MemAccessResult res;
+    if (l1d.lookup(line, is_write)) {
+        res.level = MemLevel::L1D;
+        latency += cfg.l1d.latency;
+    } else if (l2.lookup(line, false)) {
+        res.level = MemLevel::L2;
+        latency += cfg.l2.latency + cfg.l1d.latency;
+        l1d.insert(line, is_write);
+    } else if (llc.lookup(line, false)) {
+        res.level = MemLevel::LLC;
+        latency += cfg.llc.latency;
+        l2.insert(line, false);
+        l1d.insert(line, is_write);
+    } else {
+        res.level = MemLevel::Dram;
+        latency += cfg.llc.latency + dram.access(addr);
+        llc.insert(line, false);
+        l2.insert(line, false);
+        l1d.insert(line, is_write);
+    }
+
+    if (cfg.enablePrefetchers) {
+        pfBuf.clear();
+        l1Stride.observe(pc, addr, pfBuf);
+        doPrefetchFills(pfBuf, MemLevel::L1D);
+        if (res.level != MemLevel::L1D) {
+            pfBuf.clear();
+            l2Streamer.observe(addr, pfBuf);
+            l2Spp.observe(addr, pfBuf);
+            doPrefetchFills(pfBuf, MemLevel::L2);
+        }
+    }
+
+    res.latency = latency;
+    return res;
+}
+
+void
+MemHierarchy::doPrefetchFills(const std::vector<Addr>& candidates,
+                              MemLevel into)
+{
+    for (Addr a : candidates) {
+        Addr line = lineAddr(a);
+        if (into == MemLevel::L1D) {
+            if (!l1d.contains(line))
+                l1d.insert(line, false, true);
+        } else {
+            if (!l2.contains(line))
+                l2.insert(line, false, true);
+        }
+        if (!llc.contains(line))
+            llc.insert(line, false, true);
+    }
+}
+
+MemAccessResult
+MemHierarchy::load(PC pc, Addr addr)
+{
+    ++l1dReads;
+    return accessTimed(pc, addr, false);
+}
+
+MemAccessResult
+MemHierarchy::store(PC pc, Addr addr)
+{
+    ++l1dWrites;
+    return accessTimed(pc, addr, true);
+}
+
+void
+MemHierarchy::warmLine(Addr line)
+{
+    if (!llc.contains(line))
+        llc.insert(line, false, true);
+    if (!l2.contains(line))
+        l2.insert(line, false, true);
+}
+
+void
+MemHierarchy::snoop(Addr addr)
+{
+    Addr line = lineAddr(addr);
+    l1d.invalidate(line);
+    l2.invalidate(line);
+    llc.invalidate(line);
+}
+
+void
+MemHierarchy::exportStats(StatSet& stats) const
+{
+    stats.set("mem.l1d.hits", static_cast<double>(l1d.hits));
+    stats.set("mem.l1d.misses", static_cast<double>(l1d.misses));
+    stats.set("mem.l1d.evictions", static_cast<double>(l1d.evictions));
+    stats.set("mem.l1d.reads", static_cast<double>(l1dReads));
+    stats.set("mem.l1d.writes", static_cast<double>(l1dWrites));
+    stats.set("mem.l2.hits", static_cast<double>(l2.hits));
+    stats.set("mem.l2.misses", static_cast<double>(l2.misses));
+    stats.set("mem.llc.hits", static_cast<double>(llc.hits));
+    stats.set("mem.llc.misses", static_cast<double>(llc.misses));
+    stats.set("mem.dram.accesses", static_cast<double>(dram.accesses));
+    stats.set("mem.dram.rowHits", static_cast<double>(dram.rowHits));
+    stats.set("mem.dtlb.misses", static_cast<double>(dtlb.misses));
+    stats.set("mem.dtlb.accesses", static_cast<double>(dtlbAccesses));
+}
+
+} // namespace constable

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Memory-hierarchy facade: L1D + L2 + LLC + DRAM + DTLB + prefetchers
+ * (paper Table 2 geometry/latencies). The core calls load()/store() and
+ * receives a total round-trip latency; the facade maintains inclusion-free
+ * tag state, triggers prefetch fills, and exposes eviction notifications
+ * for the Constable-AMT-I variant (Fig 22).
+ */
+
+#ifndef CONSTABLE_MEM_HIERARCHY_HH
+#define CONSTABLE_MEM_HIERARCHY_HH
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/stats.hh"
+#include "mem/cache.hh"
+#include "mem/dram.hh"
+#include "mem/dtlb.hh"
+#include "mem/prefetcher.hh"
+
+namespace constable {
+
+/** Hierarchy configuration; defaults follow the paper's Table 2. */
+struct HierarchyConfig
+{
+    CacheConfig l1d { "L1D", 48, 12, 5, ReplPolicy::LRU };
+    CacheConfig l2 { "L2", 2048, 16, 12, ReplPolicy::LRU };
+    CacheConfig llc { "LLC", 3072, 12, 50, ReplPolicy::RRIP };
+    DramConfig dram {};
+    bool enablePrefetchers = true;
+};
+
+/** Where an access was served from. */
+enum class MemLevel : uint8_t { L1D, L2, LLC, Dram };
+
+/** Result of a timed access. */
+struct MemAccessResult
+{
+    unsigned latency = 0;
+    MemLevel level = MemLevel::L1D;
+};
+
+class MemHierarchy
+{
+  public:
+    using L1EvictHook = std::function<void(Addr line, bool dirty)>;
+
+    explicit MemHierarchy(const HierarchyConfig& cfg = HierarchyConfig{});
+
+    /** Timed demand load (counts an L1D read access). */
+    MemAccessResult load(PC pc, Addr addr);
+
+    /** Timed store (senior-store drain; counts an L1D write access). */
+    MemAccessResult store(PC pc, Addr addr);
+
+    /** Invalidate a line everywhere (external snoop). */
+    void snoop(Addr addr);
+
+    /** Pre-fill a line into L2 + LLC (trace warm-up, like the paper's
+     *  memory-state snapshots; avoids cold-miss artifacts on short traces). */
+    void warmLine(Addr line);
+
+    /** Register the L1D eviction hook (Constable-AMT-I). */
+    void setL1EvictHook(L1EvictHook hook);
+
+    /** Export counters into a StatSet under a prefix. */
+    void exportStats(StatSet& stats) const;
+
+    uint64_t l1dReads = 0;
+    uint64_t l1dWrites = 0;
+    uint64_t dtlbAccesses = 0;
+
+    Cache& l1dCache() { return l1d; }
+
+  private:
+    MemAccessResult accessTimed(PC pc, Addr addr, bool is_write);
+    void doPrefetchFills(const std::vector<Addr>& candidates, MemLevel into);
+
+    HierarchyConfig cfg;
+    Cache l1d;
+    Cache l2;
+    Cache llc;
+    Dram dram;
+    Dtlb dtlb;
+    StridePrefetcher l1Stride;
+    StreamerPrefetcher l2Streamer;
+    SppPrefetcher l2Spp;
+    std::vector<Addr> pfBuf;
+};
+
+} // namespace constable
+
+#endif

@@ -1,0 +1,111 @@
+#include "mem/prefetcher.hh"
+
+namespace constable {
+
+StridePrefetcher::StridePrefetcher(unsigned entries, unsigned degree)
+    : table(entries), degree(degree)
+{
+}
+
+void
+StridePrefetcher::observe(PC pc, Addr addr, std::vector<Addr>& out)
+{
+    Entry& e = table[pc % table.size()];
+    if (!e.valid || e.pc != pc) {
+        e = Entry{ pc, addr, 0, 0, true };
+        return;
+    }
+    int64_t stride = static_cast<int64_t>(addr) -
+                     static_cast<int64_t>(e.lastAddr);
+    if (stride != 0 && stride == e.stride) {
+        if (e.conf < 3)
+            ++e.conf;
+    } else {
+        e.conf = stride == 0 ? e.conf : 0;
+        e.stride = stride;
+    }
+    e.lastAddr = addr;
+    if (e.conf >= 2 && e.stride != 0) {
+        for (unsigned d = 1; d <= degree; ++d) {
+            out.push_back(addr + static_cast<Addr>(e.stride * d));
+            ++issued;
+        }
+    }
+}
+
+StreamerPrefetcher::StreamerPrefetcher(unsigned regions, unsigned degree)
+    : table(regions), degree(degree)
+{
+}
+
+void
+StreamerPrefetcher::observe(Addr addr, std::vector<Addr>& out)
+{
+    Addr region = addr >> 12; // 4 KiB regions
+    Addr line = lineAddr(addr);
+    Region& r = table[region % table.size()];
+    if (!r.valid || r.regionBase != region) {
+        r = Region{ region, line, 0, true };
+        return;
+    }
+    int dir = line > r.lastLine ? 1 : (line < r.lastLine ? -1 : 0);
+    if (dir != 0 && dir == r.dir) {
+        for (unsigned d = 1; d <= degree; ++d) {
+            out.push_back((line + static_cast<Addr>(dir * (int)d))
+                          << kLineShift);
+            ++issued;
+        }
+    }
+    if (dir != 0)
+        r.dir = dir;
+    r.lastLine = line;
+}
+
+SppPrefetcher::SppPrefetcher(unsigned sig_entries, unsigned depth)
+    : pages(256), patterns(sig_entries), depth(depth)
+{
+}
+
+void
+SppPrefetcher::observe(Addr addr, std::vector<Addr>& out)
+{
+    Addr page = addr >> 12;
+    Addr line = lineAddr(addr);
+    PageEntry& pe = pages[page % pages.size()];
+    if (!pe.valid || pe.page != page) {
+        pe = PageEntry{ page, 0, line, true };
+        return;
+    }
+    int16_t delta = static_cast<int16_t>(
+        static_cast<int64_t>(line) - static_cast<int64_t>(pe.lastLine));
+    if (delta != 0) {
+        // Train the pattern table with the observed delta.
+        PatternEntry& tr = patterns[pe.signature % patterns.size()];
+        if (tr.delta == delta) {
+            if (tr.conf < 3)
+                ++tr.conf;
+        } else if (tr.conf > 0) {
+            --tr.conf;
+        } else {
+            tr.delta = delta;
+            tr.conf = 1;
+        }
+        // Advance the signature and walk the speculative path.
+        pe.signature = static_cast<uint16_t>((pe.signature << 3) ^
+                                             (delta & 0x3f));
+        uint16_t sig = pe.signature;
+        Addr cur = line;
+        for (unsigned d = 0; d < depth; ++d) {
+            const PatternEntry& p = patterns[sig % patterns.size()];
+            if (p.conf < 2 || p.delta == 0)
+                break;
+            cur += static_cast<Addr>(static_cast<int64_t>(p.delta));
+            out.push_back(cur << kLineShift);
+            ++issued;
+            sig = static_cast<uint16_t>((sig << 3) ^ (p.delta & 0x3f));
+        }
+    }
+    pe.lastLine = line;
+}
+
+} // namespace constable

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Hardware prefetchers of the baseline hierarchy (paper Table 2):
+ * a PC-based stride prefetcher at L1D, and a next-line streamer plus an
+ * SPP-style lookahead delta prefetcher at L2.
+ */
+
+#ifndef CONSTABLE_MEM_PREFETCHER_HH
+#define CONSTABLE_MEM_PREFETCHER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace constable {
+
+/** PC-indexed stride prefetcher (Fu et al., MICRO'92 flavour). */
+class StridePrefetcher
+{
+  public:
+    explicit StridePrefetcher(unsigned entries = 256, unsigned degree = 2);
+
+    /**
+     * Observe a demand access.
+     * @param out prefetch candidate byte addresses are appended here.
+     */
+    void observe(PC pc, Addr addr, std::vector<Addr>& out);
+
+    uint64_t issued = 0;
+
+  private:
+    struct Entry
+    {
+        PC pc = 0;
+        Addr lastAddr = 0;
+        int64_t stride = 0;
+        uint8_t conf = 0;
+        bool valid = false;
+    };
+    std::vector<Entry> table;
+    unsigned degree;
+};
+
+/** Per-region next-N-lines streamer with direction detection. */
+class StreamerPrefetcher
+{
+  public:
+    explicit StreamerPrefetcher(unsigned regions = 64, unsigned degree = 4);
+
+    void observe(Addr addr, std::vector<Addr>& out);
+
+    uint64_t issued = 0;
+
+  private:
+    struct Region
+    {
+        Addr regionBase = 0;
+        Addr lastLine = 0;
+        int dir = 0;
+        bool valid = false;
+    };
+    std::vector<Region> table;
+    unsigned degree;
+};
+
+/**
+ * Signature-Path-style delta prefetcher (SPP-lite): per-page delta history
+ * signature mapped to a predicted next delta with confidence.
+ */
+class SppPrefetcher
+{
+  public:
+    explicit SppPrefetcher(unsigned sig_entries = 512, unsigned depth = 3);
+
+    void observe(Addr addr, std::vector<Addr>& out);
+
+    uint64_t issued = 0;
+
+  private:
+    struct PageEntry
+    {
+        Addr page = 0;
+        uint16_t signature = 0;
+        Addr lastLine = 0;
+        bool valid = false;
+    };
+    struct PatternEntry
+    {
+        int16_t delta = 0;
+        uint8_t conf = 0;
+    };
+    std::vector<PageEntry> pages;
+    std::vector<PatternEntry> patterns;
+    unsigned depth;
+};
+
+} // namespace constable
+
+#endif

@@ -1,0 +1,46 @@
+#include "power/power.hh"
+
+namespace constable {
+
+PowerBreakdown
+computePower(const StatSet& s, const PowerParams& p)
+{
+    PowerBreakdown b;
+    double renamed = s.get("renamed.ops");
+    double instructions = s.get("instructions");
+
+    b.fe = renamed * (p.fetchPerOp + p.decodePerOp);
+    b.oooRat = renamed * p.ratPerRename;
+    b.oooRob = s.get("rob.allocs") * p.robPerAlloc +
+               instructions * p.robPerRetire;
+    b.oooRs = s.get("rs.allocs") * p.rsPerAlloc +
+              s.get("issue.events") * p.rsPerIssue;
+    b.eu = s.get("exec.alu") * p.aluPerOp;
+    // PRF writes: every issued op producing a result (eliminated loads
+    // write the small xPRF instead, charged with the RAT below).
+    b.eu += s.get("issue.events") * p.prfPerWrite;
+    b.meuL1d = s.get("mem.l1d.reads") * p.l1dPerRead +
+               s.get("mem.l1d.writes") * p.l1dPerWrite;
+    b.meuDtlb = s.get("mem.dtlb.accesses") * p.dtlbPerAccess;
+    // AGU and LSQ CAM-search energy are part of the memory execution unit;
+    // eliminated loads skip both.
+    b.meuL1d += s.get("exec.agu") * (p.aguPerOp + p.lsqSearchPerMemOp);
+
+    // Constable structures: SLD + RMT accounted in RAT, AMT in L1D (§8.2).
+    double sldReads = s.get("constable.sld.lookups");
+    double sldWrites = s.get("constable.sld.arms") +
+                       s.get("constable.sld.resets") +
+                       s.get("constable.sld.trainMatches") +
+                       s.get("constable.sld.trainMismatches");
+    b.oooRat += sldReads * p.sldRead + sldWrites * p.sldWrite;
+    b.oooRat += (s.get("constable.rmt.inserts") + renamed) * p.rmtAccess;
+    b.meuL1d += (s.get("constable.amt.inserts") +
+                 s.get("constable.amt.invalidations")) * p.amtAccess;
+
+    // EVES predictor energy.
+    b.other += s.get("eves.predictions") * p.evesPerAccess;
+
+    return b;
+}
+
+} // namespace constable

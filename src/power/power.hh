@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Event-based core dynamic power model (paper §8.2). Per-event energies
+ * (pJ) are charged against the event counters a run exports; the breakdown
+ * follows the paper's units: front end (FE), out-of-order (OOO: RS, RAT,
+ * ROB), non-memory execution (EU) and memory execution (MEU: L1D, DTLB).
+ * Constable's structures are charged where the paper accounts them:
+ * SLD + RMT in the RAT component, AMT in the L1D component.
+ */
+
+#ifndef CONSTABLE_POWER_POWER_HH
+#define CONSTABLE_POWER_POWER_HH
+
+#include "common/stats.hh"
+
+namespace constable {
+
+/** Per-event energies in pJ. Values are plausible 14 nm-class numbers;
+ *  the paper's comparisons are relative, which is what these drive. */
+struct PowerParams
+{
+    double fetchPerOp = 32.0;
+    double decodePerOp = 22.0;
+    double ratPerRename = 12.0;
+    double robPerAlloc = 8.0;
+    double robPerRetire = 5.0;
+    double rsPerAlloc = 20.0;
+    double rsPerIssue = 16.0;
+    double aluPerOp = 24.0;
+    double aguPerOp = 16.0;
+    double l1dPerRead = 110.0;
+    double l1dPerWrite = 120.0;
+    /** Load/store-queue CAM search per address-generating memory op. */
+    double lsqSearchPerMemOp = 70.0;
+    /** Physical-register-file write per produced result. */
+    double prfPerWrite = 24.0;
+    double dtlbPerAccess = 10.0;
+    double evesPerAccess = 12.0;  ///< 32 KB predictor lookup + train
+
+    // Constable structures (paper Table 3, 14 nm).
+    double sldRead = 10.76;
+    double sldWrite = 16.70;
+    double rmtAccess = 0.18;
+    double amtAccess = 2.90;
+};
+
+/** Per-unit dynamic-energy breakdown for one run (pJ totals). */
+struct PowerBreakdown
+{
+    double fe = 0;
+    double oooRs = 0;
+    double oooRat = 0;   ///< includes SLD + RMT when Constable is on
+    double oooRob = 0;
+    double eu = 0;
+    double meuL1d = 0;   ///< includes AMT when Constable is on
+    double meuDtlb = 0;
+    double other = 0;    ///< EVES and miscellany
+
+    double ooo() const { return oooRs + oooRat + oooRob; }
+    double meu() const { return meuL1d + meuDtlb; }
+    double total() const { return fe + ooo() + eu + meu() + other; }
+};
+
+/** Charge a run's exported stats against the energy parameters. */
+PowerBreakdown computePower(const StatSet& stats,
+                            const PowerParams& params = PowerParams{});
+
+} // namespace constable
+
+#endif

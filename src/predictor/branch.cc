@@ -1,0 +1,107 @@
+#include "predictor/branch.hh"
+
+namespace constable {
+
+TageLite::TageLite() : base(1u << kBaseBits, 0)
+{
+    for (auto& t : tagged)
+        t.resize(1u << kTaggedBits);
+}
+
+uint64_t
+TageLite::foldHistory(unsigned bits, unsigned len) const
+{
+    uint64_t h = ghist & (len >= 64 ? ~0ull : ((1ull << len) - 1));
+    uint64_t folded = 0;
+    while (h) {
+        folded ^= h & ((1ull << bits) - 1);
+        h >>= bits;
+    }
+    return folded;
+}
+
+unsigned
+TageLite::taggedIndex(PC pc, unsigned t) const
+{
+    uint64_t f = foldHistory(kTaggedBits, kHistLen[t]);
+    return static_cast<unsigned>((pc ^ (pc >> kTaggedBits) ^ f) &
+                                 ((1u << kTaggedBits) - 1));
+}
+
+uint16_t
+TageLite::taggedTag(PC pc, unsigned t) const
+{
+    uint64_t f = foldHistory(9, kHistLen[t]);
+    return static_cast<uint16_t>((pc ^ (pc >> 7) ^ (f << 1)) & 0x1ff);
+}
+
+bool
+TageLite::predict(PC pc)
+{
+    ++lookups;
+    provider = -1;
+    unsigned baseIdx = static_cast<unsigned>(pc & ((1u << kBaseBits) - 1));
+    altPred = base[baseIdx] >= 0;
+    lastPred = altPred;
+    for (int t = kNumTagged - 1; t >= 0; --t) {
+        unsigned idx = taggedIndex(pc, t);
+        const TaggedEntry& e = tagged[t][idx];
+        if (e.tag == taggedTag(pc, t)) {
+            provider = t;
+            providerIdx = idx;
+            lastPred = e.ctr >= 0;
+            break;
+        }
+    }
+    return lastPred;
+}
+
+void
+TageLite::update(PC pc, bool taken)
+{
+    if (taken != lastPred)
+        ++mispredicts;
+
+    unsigned baseIdx = static_cast<unsigned>(pc & ((1u << kBaseBits) - 1));
+    auto bump = [](int8_t& c, bool up, int lo, int hi) {
+        if (up && c < hi)
+            ++c;
+        else if (!up && c > lo)
+            --c;
+    };
+
+    if (provider >= 0) {
+        TaggedEntry& e = tagged[provider][providerIdx];
+        bump(e.ctr, taken, -4, 3);
+        bool providerPred = lastPred;
+        if (providerPred != altPred) {
+            if (providerPred == taken && e.useful < 3)
+                ++e.useful;
+            else if (providerPred != taken && e.useful > 0)
+                --e.useful;
+        }
+    } else {
+        bump(base[baseIdx], taken, -2, 1);
+    }
+
+    // On a mispredict, try to allocate an entry in a longer-history table.
+    if (taken != lastPred && provider < static_cast<int>(kNumTagged) - 1) {
+        unsigned start = provider + 1;
+        for (unsigned t = start; t < kNumTagged; ++t) {
+            unsigned idx = taggedIndex(pc, t);
+            TaggedEntry& e = tagged[t][idx];
+            if (e.useful == 0) {
+                e.tag = taggedTag(pc, t);
+                e.ctr = taken ? 0 : -1;
+                break;
+            }
+            // Gracefully age a victim so allocation succeeds eventually.
+            if (rng.chance(0.25))
+                --e.useful;
+        }
+    }
+
+    ghist = (ghist << 1) | (taken ? 1 : 0);
+}
+
+} // namespace constable

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * TAGE-lite conditional branch predictor (Seznec & Michaud flavour): a
+ * bimodal base table plus tagged tables with geometric history lengths.
+ * The trace-driven core calls predict() then update() with the golden
+ * outcome in the same cycle, so history management is exact.
+ */
+
+#ifndef CONSTABLE_PREDICTOR_BRANCH_HH
+#define CONSTABLE_PREDICTOR_BRANCH_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/types.hh"
+
+namespace constable {
+
+/** Compact TAGE-style direction predictor. */
+class TageLite
+{
+  public:
+    TageLite();
+
+    /** Predict the direction of the branch at @p pc. */
+    bool predict(PC pc);
+
+    /** Train with the actual outcome (call right after predict). */
+    void update(PC pc, bool taken);
+
+    uint64_t lookups = 0;
+    uint64_t mispredicts = 0;
+
+  private:
+    static constexpr unsigned kNumTagged = 3;
+    static constexpr unsigned kTaggedBits = 10;   // 1024 entries
+    static constexpr unsigned kBaseBits = 13;     // 8192 entries
+    static constexpr std::array<unsigned, kNumTagged> kHistLen { 8, 16, 32 };
+
+    struct TaggedEntry
+    {
+        uint16_t tag = 0;
+        int8_t ctr = 0;      // -4..3, taken when >= 0
+        uint8_t useful = 0;
+    };
+
+    unsigned taggedIndex(PC pc, unsigned t) const;
+    uint16_t taggedTag(PC pc, unsigned t) const;
+    uint64_t foldHistory(unsigned bits, unsigned len) const;
+
+    std::vector<int8_t> base;                      // 2-bit counters
+    std::array<std::vector<TaggedEntry>, kNumTagged> tagged;
+    uint64_t ghist = 0;
+    Rng rng { 0xb4a9c };
+
+    // Prediction bookkeeping between predict() and update().
+    int provider = -1;
+    unsigned providerIdx = 0;
+    bool lastPred = false;
+    bool altPred = false;
+};
+
+} // namespace constable
+
+#endif

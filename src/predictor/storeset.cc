@@ -1,0 +1,46 @@
+#include "predictor/storeset.hh"
+
+namespace constable {
+
+StoreSets::StoreSets(unsigned entries) : table(entries)
+{
+}
+
+Ssid
+StoreSets::lookup(PC pc) const
+{
+    return table[index(pc)].ssid;
+}
+
+void
+StoreSets::merge(PC load_pc, PC store_pc)
+{
+    ++violations;
+    Entry& le = table[index(load_pc)];
+    Entry& se = table[index(store_pc)];
+    if (le.ssid == kInvalidSsid && se.ssid == kInvalidSsid) {
+        Ssid s = nextSsid++;
+        if (nextSsid == kInvalidSsid)
+            nextSsid = 0;
+        le.ssid = s;
+        se.ssid = s;
+    } else if (le.ssid != kInvalidSsid && se.ssid == kInvalidSsid) {
+        se.ssid = le.ssid;
+    } else if (le.ssid == kInvalidSsid && se.ssid != kInvalidSsid) {
+        le.ssid = se.ssid;
+    } else {
+        // Both assigned: converge on the smaller id (classic rule).
+        Ssid s = std::min(le.ssid, se.ssid);
+        le.ssid = s;
+        se.ssid = s;
+    }
+}
+
+void
+StoreSets::clear()
+{
+    for (auto& e : table)
+        e.ssid = kInvalidSsid;
+}
+
+} // namespace constable

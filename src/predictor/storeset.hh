@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Store-set memory dependence predictor (Chrysos & Emer, ISCA'98). The
+ * SSIT lives here; the last-fetched-store table is managed by the core,
+ * which knows about in-flight stores. Supports the baseline's "aggressive
+ * out-of-order load scheduling with memory dependence prediction".
+ */
+
+#ifndef CONSTABLE_PREDICTOR_STORESET_HH
+#define CONSTABLE_PREDICTOR_STORESET_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace constable {
+
+/** Store-set identifier; kInvalidSsid means "no known dependence". */
+using Ssid = uint16_t;
+inline constexpr Ssid kInvalidSsid = 0xffff;
+
+/** Store-Set Identifier Table. */
+class StoreSets
+{
+  public:
+    explicit StoreSets(unsigned entries = 4096);
+
+    /** Store set of a PC (load or store); kInvalidSsid if none. */
+    Ssid lookup(PC pc) const;
+
+    /** Record an ordering violation between a load and a store. */
+    void merge(PC load_pc, PC store_pc);
+
+    /** Periodic cleanup (the classic scheme clears tables; we decay). */
+    void clear();
+
+    uint64_t violations = 0;
+
+  private:
+    unsigned index(PC pc) const { return pc % table.size(); }
+
+    struct Entry
+    {
+        Ssid ssid = kInvalidSsid;
+    };
+    std::vector<Entry> table;
+    Ssid nextSsid = 0;
+};
+
+} // namespace constable
+
+#endif

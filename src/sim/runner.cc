@@ -1,0 +1,189 @@
+#include "sim/runner.hh"
+
+#include <atomic>
+#include <thread>
+
+#include "common/logging.hh"
+
+namespace constable {
+
+MechanismConfig
+baselineMech()
+{
+    return MechanismConfig{};
+}
+
+MechanismConfig
+constableMech()
+{
+    MechanismConfig m;
+    m.constable.enabled = true;
+    return m;
+}
+
+MechanismConfig
+evesMech()
+{
+    MechanismConfig m;
+    m.eves = true;
+    return m;
+}
+
+MechanismConfig
+evesPlusConstableMech()
+{
+    MechanismConfig m;
+    m.eves = true;
+    m.constable.enabled = true;
+    return m;
+}
+
+MechanismConfig
+elarMech()
+{
+    MechanismConfig m;
+    m.elar = true;
+    return m;
+}
+
+MechanismConfig
+rfpMech()
+{
+    MechanismConfig m;
+    m.rfp = true;
+    return m;
+}
+
+MechanismConfig
+elarPlusConstableMech()
+{
+    MechanismConfig m = elarMech();
+    m.constable.enabled = true;
+    return m;
+}
+
+MechanismConfig
+rfpPlusConstableMech()
+{
+    MechanismConfig m = rfpMech();
+    m.constable.enabled = true;
+    return m;
+}
+
+MechanismConfig
+idealMech(IdealMode mode, std::unordered_set<PC> pcs)
+{
+    MechanismConfig m;
+    m.ideal.mode = mode;
+    m.ideal.stablePcs = std::move(pcs);
+    return m;
+}
+
+MechanismConfig
+evesPlusIdealConstableMech(std::unordered_set<PC> pcs)
+{
+    MechanismConfig m = idealMech(IdealMode::Constable, std::move(pcs));
+    m.eves = true;
+    return m;
+}
+
+MechanismConfig
+constableModeOnlyMech(AddrMode mode)
+{
+    MechanismConfig m = constableMech();
+    m.constable.eliminatePcRel = mode == AddrMode::PcRel;
+    m.constable.eliminateStackRel = mode == AddrMode::StackRel;
+    m.constable.eliminateRegRel = mode == AddrMode::RegRel;
+    return m;
+}
+
+MechanismConfig
+constableAmtIMech()
+{
+    MechanismConfig m = constableMech();
+    m.constable.cvBitPinning = false;
+    return m;
+}
+
+RunResult
+runTrace(const Trace& trace, const SystemConfig& cfg,
+         const std::unordered_set<PC>* gs)
+{
+    CoreConfig core = cfg.core;
+    core.smt2 = false;
+    OooCore sim(core, cfg.mech, { &trace }, gs);
+    RunResult r = sim.run();
+    if (r.goldenCheckFailed)
+        panic("golden check failed on " + trace.name + ": " +
+              r.goldenCheckMessage);
+    return r;
+}
+
+Trace
+relocateTrace(const Trace& t, PC pc_off, Addr addr_off)
+{
+    Trace out = t;
+    for (MicroOp& op : out.ops) {
+        op.pc += pc_off;
+        if (op.isMem())
+            op.effAddr += addr_off;
+        if (op.isBranch())
+            op.target += pc_off;
+    }
+    for (SnoopEvent& s : out.snoops)
+        s.addr += addr_off;
+    return out;
+}
+
+RunResult
+runSmtPair(const Trace& t0, const Trace& t1, SystemConfig cfg,
+           const std::unordered_set<PC>* gs)
+{
+    cfg.core.smt2 = true;
+    // Separate address spaces: thread 1 lives in its own PC/data region.
+    Trace t1r = relocateTrace(t1, 0x4000'0000ull, 0x40'0000'0000ull);
+    OooCore sim(cfg.core, cfg.mech, { &t0, &t1r }, gs);
+    RunResult r = sim.run();
+    if (r.goldenCheckFailed)
+        panic("golden check failed on SMT pair " + t0.name + "+" + t1.name +
+              ": " + r.goldenCheckMessage);
+    return r;
+}
+
+double
+speedup(const RunResult& test, const RunResult& base)
+{
+    return test.cycles == 0
+        ? 0.0
+        : static_cast<double>(base.cycles) /
+              static_cast<double>(test.cycles);
+}
+
+void
+parallelFor(size_t n, const std::function<void(size_t)>& fn)
+{
+    unsigned hw = std::thread::hardware_concurrency();
+    unsigned numThreads = std::max(1u, std::min(hw, 16u));
+    if (n <= 1 || numThreads == 1) {
+        for (size_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+    std::atomic<size_t> next { 0 };
+    std::vector<std::thread> pool;
+    pool.reserve(numThreads);
+    for (unsigned t = 0; t < numThreads; ++t) {
+        pool.emplace_back([&]() {
+            for (;;) {
+                size_t i = next.fetch_add(1);
+                if (i >= n)
+                    return;
+                fn(i);
+            }
+        });
+    }
+    for (auto& th : pool)
+        th.join();
+}
+
+} // namespace constable

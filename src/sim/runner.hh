@@ -1,0 +1,71 @@
+/**
+ * @file
+ * System wiring and experiment helpers: mechanism presets matching the
+ * paper's evaluated configurations (§8.4), single-trace and SMT2 drivers,
+ * trace relocation for SMT address-space separation, and speedup math.
+ */
+
+#ifndef CONSTABLE_SIM_RUNNER_HH
+#define CONSTABLE_SIM_RUNNER_HH
+
+#include <functional>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "cpu/core.hh"
+#include "inspector/load_inspector.hh"
+#include "trace/generator.hh"
+
+namespace constable {
+
+/** A complete system configuration. */
+struct SystemConfig
+{
+    CoreConfig core;
+    MechanismConfig mech;
+};
+
+// --- mechanism presets (the baseline always includes MRN + folding) ---
+MechanismConfig baselineMech();
+MechanismConfig constableMech();
+MechanismConfig evesMech();
+MechanismConfig evesPlusConstableMech();
+MechanismConfig elarMech();
+MechanismConfig rfpMech();
+MechanismConfig elarPlusConstableMech();
+MechanismConfig rfpPlusConstableMech();
+
+/** Oracle preset over offline-identified global-stable PCs (Fig 7). */
+MechanismConfig idealMech(IdealMode mode, std::unordered_set<PC> pcs);
+
+/** EVES + Ideal Constable (Fig 11/16 upper bound). */
+MechanismConfig evesPlusIdealConstableMech(std::unordered_set<PC> pcs);
+
+/** Restrict Constable elimination to one addressing mode (Fig 13). */
+MechanismConfig constableModeOnlyMech(AddrMode mode);
+
+/** Constable-AMT-I variant: no CV-bit pinning (Fig 22). */
+MechanismConfig constableAmtIMech();
+
+/** Run one trace on one core. @param gs optional stats-classification set. */
+RunResult runTrace(const Trace& trace, const SystemConfig& cfg,
+                   const std::unordered_set<PC>* gs = nullptr);
+
+/** Run two traces in SMT2 on one core (thread 1 is relocated to a disjoint
+ *  PC/address region to model separate address spaces). */
+RunResult runSmtPair(const Trace& t0, const Trace& t1, SystemConfig cfg,
+                     const std::unordered_set<PC>* gs = nullptr);
+
+/** Relocate a trace's PCs and data addresses by fixed offsets. */
+Trace relocateTrace(const Trace& t, PC pc_off, Addr addr_off);
+
+/** Performance ratio (same work): base cycles / test cycles. */
+double speedup(const RunResult& test, const RunResult& base);
+
+/** Run fn(i) for i in [0, n) on a small thread pool. */
+void parallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+} // namespace constable
+
+#endif

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Sparse byte-addressable memory image used by the functional side of the
+ * trace generator. Backed by 4 KiB pages allocated on demand.
+ */
+
+#ifndef CONSTABLE_TRACE_MEM_IMAGE_HH
+#define CONSTABLE_TRACE_MEM_IMAGE_HH
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "common/types.hh"
+
+namespace constable {
+
+/**
+ * Little-endian sparse memory. Reads of never-written bytes return zero,
+ * matching zero-initialized process memory.
+ */
+class MemImage
+{
+  public:
+    static constexpr unsigned kPageBytes = 4096;
+    static constexpr unsigned kPageShift = 12;
+
+    /** Read @p size bytes (1..8) at @p addr, little-endian. */
+    uint64_t read(Addr addr, unsigned size) const;
+
+    /** Write the low @p size bytes (1..8) of @p value at @p addr. */
+    void write(Addr addr, uint64_t value, unsigned size);
+
+    /** Number of resident pages (footprint diagnostic). */
+    size_t numPages() const { return pages.size(); }
+
+  private:
+    using Page = std::array<uint8_t, kPageBytes>;
+
+    uint8_t readByte(Addr addr) const;
+    void writeByte(Addr addr, uint8_t b);
+
+    std::unordered_map<Addr, std::unique_ptr<Page>> pages;
+};
+
+} // namespace constable
+
+#endif

@@ -1,0 +1,15 @@
+#include "trace/trace.hh"
+
+#include <algorithm>
+
+namespace constable {
+
+size_t
+Trace::countClass(OpClass c) const
+{
+    return static_cast<size_t>(
+        std::count_if(ops.begin(), ops.end(),
+                      [c](const MicroOp& op) { return op.cls == c; }));
+}
+
+} // namespace constable

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * A dynamic instruction trace: the interface between the synthetic workload
+ * generator (functional side) and the cycle-level core (timing side).
+ */
+
+#ifndef CONSTABLE_TRACE_TRACE_HH
+#define CONSTABLE_TRACE_TRACE_HH
+
+#include <string>
+#include <vector>
+
+#include "isa/microop.hh"
+
+namespace constable {
+
+/**
+ * An externally-generated coherence snoop to inject before a given dynamic
+ * instruction retires. Models another core's request in a multi-core system
+ * (§6.4.4). Snoops in this model are ownership probes that do not change
+ * memory contents, so golden values stay valid; the point is to exercise
+ * AMT invalidation and CV-bit behaviour.
+ */
+struct SnoopEvent
+{
+    SeqNum beforeSeq = 0;   ///< deliver before this trace index retires
+    Addr addr = 0;          ///< full byte address (AMT uses the line address)
+};
+
+/** A complete workload trace plus metadata. */
+struct Trace
+{
+    std::string name;
+    std::string category;           ///< Client/Enterprise/FSPEC17/ISPEC17/Server
+    unsigned numArchRegs = 16;      ///< 16, or 32 in APX mode
+    std::vector<MicroOp> ops;
+    std::vector<SnoopEvent> snoops; ///< sorted by beforeSeq
+
+    size_t size() const { return ops.size(); }
+
+    /** Count of dynamic ops of a class. */
+    size_t countClass(OpClass c) const;
+};
+
+} // namespace constable
+
+#endif

@@ -1,0 +1,160 @@
+#include "vp/eves.hh"
+
+namespace constable {
+
+EvesPredictor::EvesPredictor(const EvesConfig& cfg)
+    : cfg(cfg), strideTable(cfg.strideEntries),
+      vtage(cfg.vtageTables, std::vector<VtageEntry>(cfg.vtageEntries))
+{
+}
+
+uint64_t
+EvesPredictor::foldHistory(unsigned bits, unsigned len) const
+{
+    uint64_t h = ghist & (len >= 64 ? ~0ull : ((1ull << len) - 1));
+    uint64_t folded = 0;
+    while (h) {
+        folded ^= h & ((1ull << bits) - 1);
+        h >>= bits;
+    }
+    return folded;
+}
+
+unsigned
+EvesPredictor::vtIndex(PC pc, unsigned t) const
+{
+    uint64_t f = foldHistory(10, histLens[t + 1]);
+    return static_cast<unsigned>((pc ^ (pc >> 10) ^ f) %
+                                 vtage[t].size());
+}
+
+uint16_t
+EvesPredictor::vtTag(PC pc, unsigned t) const
+{
+    uint64_t f = foldHistory(11, histLens[t + 1]);
+    return static_cast<uint16_t>((pc ^ (pc >> 5) ^ (f << 2)) & 0x7ff);
+}
+
+ValuePrediction
+EvesPredictor::predict(PC pc)
+{
+    ValuePrediction pred;
+
+    // VTAGE: longest-history tag match with saturated confidence wins.
+    for (int t = static_cast<int>(cfg.vtageTables) - 1; t >= 0; --t) {
+        const VtageEntry& e = vtage[t][vtIndex(pc, t)];
+        if (e.tag == vtTag(pc, t) && e.conf >= cfg.confMax) {
+            pred.valid = true;
+            pred.value = e.value;
+            ++predictions;
+            return pred;
+        }
+    }
+
+    // E-Stride: predict last committed value + stride * (inflight + 1).
+    StrideEntry& s = strideTable[strideIndex(pc)];
+    if (s.valid && s.tag == pc && s.conf >= cfg.confMax &&
+        s.strideConf >= 3) {
+        pred.valid = true;
+        pred.value = s.lastVal + static_cast<uint64_t>(
+            s.stride * static_cast<int64_t>(s.inflight + 1));
+        ++predictions;
+    }
+    return pred;
+}
+
+void
+EvesPredictor::notifyRename(PC pc)
+{
+    StrideEntry& s = strideTable[strideIndex(pc)];
+    if (s.valid && s.tag == pc && s.inflight < 1023)
+        ++s.inflight;
+}
+
+void
+EvesPredictor::train(PC pc, uint64_t actual)
+{
+    // VTAGE training.
+    bool vtageHit = false;
+    for (int t = static_cast<int>(cfg.vtageTables) - 1; t >= 0; --t) {
+        VtageEntry& e = vtage[t][vtIndex(pc, t)];
+        if (e.tag == vtTag(pc, t)) {
+            vtageHit = true;
+            if (e.value == actual) {
+                if (e.conf < cfg.confMax &&
+                    (e.conf < 2 || rng.chance(cfg.confIncProb)))
+                    ++e.conf;
+                if (e.useful < 3)
+                    ++e.useful;
+            } else {
+                e.conf = 0;
+                e.value = actual;
+                if (e.useful > 0)
+                    --e.useful;
+            }
+            break;
+        }
+    }
+    if (!vtageHit) {
+        // Allocate in a random table whose entry is not useful.
+        unsigned t = static_cast<unsigned>(rng.below(cfg.vtageTables));
+        VtageEntry& e = vtage[t][vtIndex(pc, t)];
+        if (e.useful == 0) {
+            e.tag = vtTag(pc, t);
+            e.value = actual;
+            e.conf = 0;
+        } else {
+            --e.useful;
+        }
+    }
+
+    // E-Stride training.
+    StrideEntry& s = strideTable[strideIndex(pc)];
+    if (!s.valid || s.tag != pc) {
+        s = StrideEntry{};
+        s.tag = pc;
+        s.lastVal = actual;
+        s.valid = true;
+        return;
+    }
+    int64_t delta = static_cast<int64_t>(actual - s.lastVal);
+    bool wasPredicting = s.conf >= cfg.confMax && s.strideConf >= 3;
+    if (delta == s.stride) {
+        if (s.strideConf < 3)
+            ++s.strideConf;
+        if (s.conf < cfg.confMax &&
+            (s.conf < 2 || rng.chance(cfg.confIncProb)))
+            ++s.conf;
+        if (wasPredicting)
+            ++correct;
+    } else {
+        if (wasPredicting) {
+            ++incorrect;
+            ++wrongByPc[pc];
+        }
+        s.conf = 0;
+        if (s.strideConf > 0)
+            --s.strideConf;
+        else
+            s.stride = delta;
+    }
+    s.lastVal = actual;
+    if (s.inflight > 0)
+        --s.inflight;
+}
+
+void
+EvesPredictor::abortInflight(PC pc)
+{
+    StrideEntry& s = strideTable[strideIndex(pc)];
+    if (s.valid && s.tag == pc && s.inflight > 0)
+        --s.inflight;
+}
+
+void
+EvesPredictor::pushHistory(bool taken)
+{
+    ghist = (ghist << 1) | (taken ? 1 : 0);
+}
+
+} // namespace constable

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * EVES load value predictor (Seznec, CVP-1 winner) reimplementation:
+ * E-Stride (per-PC last value + stride, accounting for in-flight instances)
+ * plus VTAGE (tagged tables indexed by PC and folded global branch
+ * history), with saturating confidence and probabilistic increments.
+ * A predicted load's dependents wake at rename; the load itself still
+ * executes to verify — which is exactly the resource dependence Constable
+ * removes and EVES cannot (paper §3).
+ */
+
+#ifndef CONSTABLE_VP_EVES_HH
+#define CONSTABLE_VP_EVES_HH
+
+#include <array>
+#include <unordered_map>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/types.hh"
+
+namespace constable {
+
+/** EVES sizing; defaults approximate the 32 KB CVP-1 budget. */
+struct EvesConfig
+{
+    unsigned strideEntries = 4096;
+    unsigned vtageTables = 3;
+    unsigned vtageEntries = 1024;
+    uint8_t confMax = 7;
+    /** Probability of a confidence increment on a correct prediction. */
+    double confIncProb = 0.125;
+};
+
+/** One load value prediction. */
+struct ValuePrediction
+{
+    bool valid = false;
+    uint64_t value = 0;
+};
+
+class EvesPredictor
+{
+  public:
+    explicit EvesPredictor(const EvesConfig& cfg = EvesConfig{});
+
+    /** Predict the value of the load at @p pc (called at rename, before
+     *  notifyRename for this instance). */
+    ValuePrediction predict(PC pc);
+
+    /**
+     * Account a renamed in-flight instance of the load (predicted or not):
+     * E-Stride projects lastValue + stride * (inflight + 1), so the counter
+     * must cover every instance that will commit before this one.
+     */
+    void notifyRename(PC pc);
+
+    /** Train with the architecturally-correct value (at writeback). */
+    void train(PC pc, uint64_t actual);
+
+    /** Squash bookkeeping: an in-flight instance was discarded. */
+    void abortInflight(PC pc);
+
+    /** Push a retired-branch outcome into the global history. */
+    void pushHistory(bool taken);
+
+    /** Per-PC mispredict counts (debug/diagnostics). */
+    std::unordered_map<PC, uint64_t> wrongByPc;
+
+    uint64_t predictions = 0;
+    uint64_t correct = 0;
+    uint64_t incorrect = 0;
+
+  private:
+    struct StrideEntry
+    {
+        uint64_t tag = 0;
+        uint64_t lastVal = 0;
+        int64_t stride = 0;
+        uint8_t conf = 0;
+        uint8_t strideConf = 0;
+        uint16_t inflight = 0;
+        bool valid = false;
+    };
+    struct VtageEntry
+    {
+        uint16_t tag = 0;
+        uint64_t value = 0;
+        uint8_t conf = 0;
+        uint8_t useful = 0;
+    };
+
+    unsigned
+    strideIndex(PC pc) const
+    {
+        // Hashed to spread aligned code regions (see Sld::setOf).
+        return static_cast<unsigned>((pc ^ (pc >> 7) ^ (pc >> 13)) %
+                                     strideTable.size());
+    }
+    unsigned vtIndex(PC pc, unsigned t) const;
+    uint16_t vtTag(PC pc, unsigned t) const;
+    uint64_t foldHistory(unsigned bits, unsigned len) const;
+
+    EvesConfig cfg;
+    std::vector<StrideEntry> strideTable;
+    std::vector<std::vector<VtageEntry>> vtage;
+    std::array<unsigned, 8> histLens { 0, 4, 8, 16, 24, 32, 48, 64 };
+    uint64_t ghist = 0;
+    Rng rng { 0xe4e5 };
+};
+
+} // namespace constable
+
+#endif

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Ideal (oracle) configurations for the headroom study (paper §4.4, Fig 7):
+ * global-stable load PCs are identified offline by the Load Inspector and
+ * either perfectly value-predicted (still executed), value-predicted with
+ * the data fetch eliminated (AGU only), or fully eliminated.
+ */
+
+#ifndef CONSTABLE_VP_IDEAL_HH
+#define CONSTABLE_VP_IDEAL_HH
+
+#include <unordered_set>
+
+#include "common/types.hh"
+
+namespace constable {
+
+/** Which oracle treatment global-stable loads receive. */
+enum class IdealMode : uint8_t {
+    None,
+    StableLvp,          ///< perfect value prediction; load fully executes
+    StableLvpNoFetch,   ///< perfect value prediction; AGU only, no data fetch
+    Constable,          ///< full elimination (no RS/AGU/load port/L1D)
+};
+
+/** Oracle specification handed to the core. */
+struct IdealSpec
+{
+    IdealMode mode = IdealMode::None;
+    std::unordered_set<PC> stablePcs;   ///< offline-identified loads
+};
+
+} // namespace constable
+
+#endif

@@ -1,0 +1,50 @@
+#include "vp/mrn.hh"
+
+namespace constable {
+
+MrnTable::MrnTable(unsigned entries, uint8_t conf_threshold)
+    : table(entries), confThreshold(conf_threshold)
+{
+}
+
+MrnPrediction
+MrnTable::predict(PC load_pc) const
+{
+    const Entry& e = table[(load_pc ^ (load_pc >> 7) ^ (load_pc >> 13)) % table.size()];
+    MrnPrediction p;
+    if (e.valid && e.loadPc == load_pc && e.conf >= confThreshold &&
+        e.storePc != 0) {
+        p.valid = true;
+        p.storePc = e.storePc;
+    }
+    return p;
+}
+
+void
+MrnTable::train(PC load_pc, PC store_pc)
+{
+    Entry& e = table[(load_pc ^ (load_pc >> 7) ^ (load_pc >> 13)) % table.size()];
+    if (!e.valid || e.loadPc != load_pc) {
+        e = Entry{ load_pc, store_pc, 0, true };
+        return;
+    }
+    if (e.storePc == store_pc && store_pc != 0) {
+        if (e.conf < 7)
+            ++e.conf;
+    } else {
+        // Unstable communication: a misforward costs a pipeline flush, so
+        // confidence resets outright rather than decaying.
+        e.conf = 0;
+        e.storePc = store_pc;
+    }
+}
+
+void
+MrnTable::punish(PC load_pc)
+{
+    Entry& e = table[(load_pc ^ (load_pc >> 7) ^ (load_pc >> 13)) % table.size()];
+    if (e.valid && e.loadPc == load_pc)
+        e.conf = 0;
+}
+
+} // namespace constable

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Memory Renaming (Tyson & Austin / Moshovos & Sohi): learns stable
+ * store→load communication pairs and, at rename, speculatively forwards the
+ * producing store's data to the load's dependents. The load still executes
+ * to verify the forwarding. Part of the paper's baseline (Table 2).
+ */
+
+#ifndef CONSTABLE_VP_MRN_HH
+#define CONSTABLE_VP_MRN_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace constable {
+
+/** Prediction: which static store will feed this load. */
+struct MrnPrediction
+{
+    bool valid = false;
+    PC storePc = 0;
+};
+
+class MrnTable
+{
+  public:
+    explicit MrnTable(unsigned entries = 1024, uint8_t conf_threshold = 6);
+
+    /** Predict the producing store for the load at @p pc (rename stage). */
+    MrnPrediction predict(PC load_pc) const;
+
+    /**
+     * Train at load execution: @p store_pc is the static store that actually
+     * forwarded to this load (0 when the value came from memory).
+     */
+    void train(PC load_pc, PC store_pc);
+
+    /** A forwarding from this entry was verified wrong (pipeline flush):
+     *  reset its confidence so unstable pairs back off. */
+    void punish(PC load_pc);
+
+    uint64_t predictions = 0;
+    uint64_t correctForwards = 0;
+    uint64_t misforwards = 0;
+
+  private:
+    struct Entry
+    {
+        PC loadPc = 0;
+        PC storePc = 0;
+        uint8_t conf = 0;
+        bool valid = false;
+    };
+    std::vector<Entry> table;
+    uint8_t confThreshold;
+};
+
+} // namespace constable
+
+#endif

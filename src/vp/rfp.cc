@@ -1,0 +1,65 @@
+#include "vp/rfp.hh"
+
+namespace constable {
+
+RfpPredictor::RfpPredictor(unsigned entries, uint8_t conf_threshold)
+    : table(entries), confThreshold(conf_threshold)
+{
+}
+
+RfpPrediction
+RfpPredictor::predict(PC pc)
+{
+    Entry& e = table[(pc ^ (pc >> 7) ^ (pc >> 13)) % table.size()];
+    RfpPrediction p;
+    if (e.valid && e.pc == pc && e.conf >= confThreshold) {
+        p.valid = true;
+        p.addr = e.lastAddr + static_cast<Addr>(
+            e.stride * static_cast<int64_t>(e.inflight + 1));
+        if (e.inflight < 255)
+            ++e.inflight;
+        ++predictions;
+    }
+    return p;
+}
+
+void
+RfpPredictor::train(PC pc, Addr actual)
+{
+    Entry& e = table[(pc ^ (pc >> 7) ^ (pc >> 13)) % table.size()];
+    if (!e.valid || e.pc != pc) {
+        e = Entry{ pc, actual, 0, 0, 0, true };
+        return;
+    }
+    int64_t delta = static_cast<int64_t>(actual - e.lastAddr);
+    if (delta == e.stride) {
+        if (e.conf < 7)
+            ++e.conf;
+    } else {
+        e.conf = 0;
+        e.stride = delta;
+    }
+    e.lastAddr = actual;
+    if (e.inflight > 0)
+        --e.inflight;
+}
+
+void
+RfpPredictor::abortInflight(PC pc)
+{
+    Entry& e = table[(pc ^ (pc >> 7) ^ (pc >> 13)) % table.size()];
+    if (e.valid && e.pc == pc && e.inflight > 0)
+        --e.inflight;
+}
+
+void
+RfpPredictor::punish(PC pc)
+{
+    Entry& e = table[(pc ^ (pc >> 7) ^ (pc >> 13)) % table.size()];
+    if (e.valid && e.pc == pc) {
+        e.conf = 0;
+        e.inflight = 0;
+    }
+}
+
+} // namespace constable

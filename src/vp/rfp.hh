@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Register File Prefetching (Shukla et al., ISCA'22): a PC-indexed stride
+ * address predictor drives an early L1D access at rename so the load's
+ * value lands in the register file before execution; the load still
+ * executes to verify. Compared against Constable in Fig 15.
+ */
+
+#ifndef CONSTABLE_VP_RFP_HH
+#define CONSTABLE_VP_RFP_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace constable {
+
+/** Predicted load address for an early register-file prefetch. */
+struct RfpPrediction
+{
+    bool valid = false;
+    Addr addr = 0;
+};
+
+class RfpPredictor
+{
+  public:
+    explicit RfpPredictor(unsigned entries = 2048, uint8_t conf_threshold = 3);
+
+    /** Predict the address of the load at @p pc (rename stage). */
+    RfpPrediction predict(PC pc);
+
+    /** Train with the actual effective address (execution). */
+    void train(PC pc, Addr actual);
+
+    /** Squash bookkeeping: an in-flight predicted instance was discarded. */
+    void abortInflight(PC pc);
+
+    /** A prefetch was verified wrong (flush): reset confidence. */
+    void punish(PC pc);
+
+    uint64_t predictions = 0;
+    uint64_t correct = 0;
+    uint64_t incorrect = 0;
+
+  private:
+    struct Entry
+    {
+        PC pc = 0;
+        Addr lastAddr = 0;
+        int64_t stride = 0;
+        uint8_t conf = 0;
+        uint8_t inflight = 0;
+        bool valid = false;
+    };
+    std::vector<Entry> table;
+    uint8_t confThreshold;
+};
+
+} // namespace constable
+
+#endif

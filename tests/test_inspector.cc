@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Load Inspector tests over hand-built traces with known properties.
+ */
+
+#include <gtest/gtest.h>
+
+#include "inspector/load_inspector.hh"
+
+namespace constable {
+namespace {
+
+MicroOp
+mkLoad(PC pc, Addr addr, uint64_t value, AddrMode mode = AddrMode::PcRel)
+{
+    MicroOp op;
+    op.pc = pc;
+    op.cls = OpClass::Load;
+    op.addrMode = mode;
+    op.effAddr = addr;
+    op.value = value;
+    op.dst = RAX;
+    return op;
+}
+
+MicroOp
+mkNop(PC pc)
+{
+    MicroOp op;
+    op.pc = pc;
+    op.cls = OpClass::Nop;
+    return op;
+}
+
+TEST(Inspector, DetectsGlobalStable)
+{
+    Trace t;
+    for (int i = 0; i < 10; ++i)
+        t.ops.push_back(mkLoad(0x100, 0x5000, 42));
+    LoadInspectorResult r = inspectLoads(t);
+    EXPECT_DOUBLE_EQ(r.globalStableFrac(), 1.0);
+    EXPECT_TRUE(r.globalStablePcs().count(0x100));
+}
+
+TEST(Inspector, ValueChangeBreaksStability)
+{
+    Trace t;
+    t.ops.push_back(mkLoad(0x100, 0x5000, 42));
+    t.ops.push_back(mkLoad(0x100, 0x5000, 43));
+    LoadInspectorResult r = inspectLoads(t);
+    EXPECT_DOUBLE_EQ(r.globalStableFrac(), 0.0);
+    EXPECT_TRUE(r.globalStablePcs().empty());
+}
+
+TEST(Inspector, AddressChangeBreaksStability)
+{
+    Trace t;
+    t.ops.push_back(mkLoad(0x100, 0x5000, 42));
+    t.ops.push_back(mkLoad(0x100, 0x5008, 42));
+    LoadInspectorResult r = inspectLoads(t);
+    EXPECT_DOUBLE_EQ(r.globalStableFrac(), 0.0);
+}
+
+TEST(Inspector, SingleInstanceIsStable)
+{
+    Trace t;
+    t.ops.push_back(mkLoad(0x100, 0x5000, 1));
+    LoadInspectorResult r = inspectLoads(t);
+    EXPECT_DOUBLE_EQ(r.globalStableFrac(), 1.0);
+}
+
+TEST(Inspector, MixedPopulationFraction)
+{
+    Trace t;
+    // 6 dynamic stable + 4 dynamic unstable.
+    for (int i = 0; i < 6; ++i)
+        t.ops.push_back(mkLoad(0x100, 0x5000, 42));
+    for (int i = 0; i < 4; ++i)
+        t.ops.push_back(mkLoad(0x200, 0x6000 + 8 * i, 7));
+    LoadInspectorResult r = inspectLoads(t);
+    EXPECT_NEAR(r.globalStableFrac(), 0.6, 1e-12);
+}
+
+TEST(Inspector, AddressingModeBreakdown)
+{
+    Trace t;
+    for (int i = 0; i < 2; ++i)
+        t.ops.push_back(mkLoad(0x100, 0x5000, 1, AddrMode::PcRel));
+    for (int i = 0; i < 3; ++i)
+        t.ops.push_back(mkLoad(0x200, 0x6000, 2, AddrMode::StackRel));
+    for (int i = 0; i < 5; ++i)
+        t.ops.push_back(mkLoad(0x300, 0x7000, 3, AddrMode::RegRel));
+    LoadInspectorResult r = inspectLoads(t);
+    EXPECT_NEAR(r.modeFrac(AddrMode::PcRel), 0.2, 1e-12);
+    EXPECT_NEAR(r.modeFrac(AddrMode::StackRel), 0.3, 1e-12);
+    EXPECT_NEAR(r.modeFrac(AddrMode::RegRel), 0.5, 1e-12);
+}
+
+TEST(Inspector, InterOccurrenceDistanceBuckets)
+{
+    Trace t;
+    t.ops.push_back(mkLoad(0x100, 0x5000, 1));
+    for (int i = 0; i < 60; ++i)
+        t.ops.push_back(mkNop(0x200 + 4 * i));
+    t.ops.push_back(mkLoad(0x100, 0x5000, 1)); // distance 61 -> [50,100)
+    t.ops.push_back(mkLoad(0x100, 0x5000, 1)); // distance 1 -> [0,50)
+    LoadInspectorResult r = inspectLoads(t);
+    EXPECT_EQ(r.distanceHist.total(), 2u);
+    EXPECT_EQ(r.distanceHist.bucketCount(0), 1u);
+    EXPECT_EQ(r.distanceHist.bucketCount(1), 1u);
+}
+
+TEST(Inspector, PerModeDistanceHistogramsOnlyCountOwnMode)
+{
+    Trace t;
+    t.ops.push_back(mkLoad(0x100, 0x5000, 1, AddrMode::PcRel));
+    t.ops.push_back(mkLoad(0x100, 0x5000, 1, AddrMode::PcRel));
+    LoadInspectorResult r = inspectLoads(t);
+    EXPECT_EQ(r.distByMode[static_cast<unsigned>(AddrMode::PcRel)].total(),
+              1u);
+    EXPECT_EQ(r.distByMode[static_cast<unsigned>(AddrMode::RegRel)].total(),
+              0u);
+}
+
+TEST(Inspector, UnstableLoadsExcludedFromDistance)
+{
+    Trace t;
+    t.ops.push_back(mkLoad(0x100, 0x5000, 1));
+    t.ops.push_back(mkLoad(0x100, 0x5000, 2)); // value changed: unstable
+    LoadInspectorResult r = inspectLoads(t);
+    EXPECT_EQ(r.distanceHist.total(), 0u);
+}
+
+TEST(Inspector, CountsDynOps)
+{
+    Trace t;
+    t.ops.push_back(mkNop(0x1));
+    t.ops.push_back(mkLoad(0x100, 0x5000, 1));
+    LoadInspectorResult r = inspectLoads(t);
+    EXPECT_EQ(r.dynOps, 2u);
+    EXPECT_EQ(r.dynLoads, 1u);
+}
+
+} // namespace
+} // namespace constable

@@ -1,0 +1,280 @@
+/**
+ * @file
+ * Tests for the branch predictor, store sets, and the value-speculation
+ * baselines (EVES, MRN, RFP).
+ */
+
+#include <gtest/gtest.h>
+
+#include "predictor/branch.hh"
+#include "predictor/storeset.hh"
+#include "vp/eves.hh"
+#include "vp/mrn.hh"
+#include "vp/rfp.hh"
+
+namespace constable {
+namespace {
+
+TEST(Tage, LearnsAlwaysTaken)
+{
+    TageLite p;
+    for (int i = 0; i < 50; ++i) {
+        p.predict(0x100);
+        p.update(0x100, true);
+    }
+    EXPECT_TRUE(p.predict(0x100));
+    p.update(0x100, true);
+}
+
+TEST(Tage, LearnsAlternatingPattern)
+{
+    TageLite p;
+    int wrong = 0;
+    for (int i = 0; i < 400; ++i) {
+        bool taken = i % 2 == 0;
+        bool pred = p.predict(0x200);
+        p.update(0x200, taken);
+        if (i >= 200 && pred != taken)
+            ++wrong;
+    }
+    // Tagged history tables must capture a period-2 pattern.
+    EXPECT_LT(wrong, 20);
+}
+
+TEST(Tage, LearnsLongerPeriodicPattern)
+{
+    TageLite p;
+    int wrong = 0;
+    for (int i = 0; i < 2000; ++i) {
+        bool taken = (i % 5) < 2;
+        bool pred = p.predict(0x300);
+        p.update(0x300, taken);
+        if (i >= 1500 && pred != taken)
+            ++wrong;
+    }
+    EXPECT_LT(wrong, 100);
+}
+
+TEST(Tage, CountsMispredicts)
+{
+    TageLite p;
+    p.predict(0x400);
+    p.update(0x400, true);
+    EXPECT_EQ(p.lookups, 1u);
+}
+
+TEST(StoreSet, InvalidByDefault)
+{
+    StoreSets s;
+    EXPECT_EQ(s.lookup(0x123), kInvalidSsid);
+}
+
+TEST(StoreSet, MergeAssignsSameSet)
+{
+    StoreSets s;
+    s.merge(0x100, 0x200);
+    Ssid a = s.lookup(0x100);
+    EXPECT_NE(a, kInvalidSsid);
+    EXPECT_EQ(a, s.lookup(0x200));
+}
+
+TEST(StoreSet, MergeIntoExistingSet)
+{
+    StoreSets s;
+    s.merge(0x100, 0x200);
+    s.merge(0x100, 0x300); // store joins load's existing set
+    EXPECT_EQ(s.lookup(0x300), s.lookup(0x100));
+}
+
+TEST(StoreSet, ConvergesOnSmallerId)
+{
+    StoreSets s;
+    s.merge(0x100, 0x200);
+    s.merge(0x300, 0x400);
+    Ssid a = s.lookup(0x100);
+    Ssid b = s.lookup(0x300);
+    s.merge(0x100, 0x400); // both assigned: converge
+    EXPECT_EQ(s.lookup(0x100), std::min(a, b));
+    EXPECT_EQ(s.lookup(0x400), std::min(a, b));
+}
+
+TEST(StoreSet, ClearResets)
+{
+    StoreSets s;
+    s.merge(0x100, 0x200);
+    s.clear();
+    EXPECT_EQ(s.lookup(0x100), kInvalidSsid);
+}
+
+// ------------------------------------------------------------------ EVES
+
+TEST(Eves, PredictsConstantAfterWarmup)
+{
+    EvesPredictor e;
+    ValuePrediction p;
+    for (int i = 0; i < 400; ++i) {
+        p = e.predict(0x100);
+        e.notifyRename(0x100);
+        e.train(0x100, 42);
+    }
+    p = e.predict(0x100);
+    ASSERT_TRUE(p.valid);
+    EXPECT_EQ(p.value, 42u);
+}
+
+TEST(Eves, PredictsStrideWithInflightAccounting)
+{
+    EvesPredictor e;
+    uint64_t v = 0;
+    for (int i = 0; i < 600; ++i) {
+        e.predict(0x200);
+        e.notifyRename(0x200);
+        e.train(0x200, v);
+        v += 64;
+    }
+    // Three in-flight instances: predictions must project 1, 2, 3 strides.
+    ValuePrediction p1 = e.predict(0x200);
+    e.notifyRename(0x200);
+    ValuePrediction p2 = e.predict(0x200);
+    e.notifyRename(0x200);
+    ValuePrediction p3 = e.predict(0x200);
+    e.notifyRename(0x200);
+    ASSERT_TRUE(p1.valid);
+    ASSERT_TRUE(p2.valid);
+    ASSERT_TRUE(p3.valid);
+    EXPECT_EQ(p2.value, p1.value + 64);
+    EXPECT_EQ(p3.value, p2.value + 64);
+    EXPECT_EQ(p1.value, v); // next value to be committed
+}
+
+TEST(Eves, AbortInflightRestoresProjection)
+{
+    EvesPredictor e;
+    uint64_t v = 0;
+    for (int i = 0; i < 600; ++i) {
+        e.predict(0x300);
+        e.notifyRename(0x300);
+        e.train(0x300, v);
+        v += 8;
+    }
+    ValuePrediction p1 = e.predict(0x300);
+    e.notifyRename(0x300);
+    e.abortInflight(0x300); // squashed
+    ValuePrediction p2 = e.predict(0x300);
+    ASSERT_TRUE(p1.valid);
+    ASSERT_TRUE(p2.valid);
+    EXPECT_EQ(p1.value, p2.value);
+}
+
+TEST(Eves, DoesNotPredictRandomValues)
+{
+    EvesPredictor e;
+    Rng rng(3);
+    unsigned valid = 0;
+    for (int i = 0; i < 500; ++i) {
+        ValuePrediction p = e.predict(0x400);
+        e.notifyRename(0x400);
+        valid += p.valid;
+        e.train(0x400, rng.next());
+    }
+    EXPECT_EQ(valid, 0u);
+}
+
+TEST(Eves, ConfidenceResetsOnValueChange)
+{
+    EvesPredictor e;
+    for (int i = 0; i < 400; ++i) {
+        e.predict(0x500);
+        e.notifyRename(0x500);
+        e.train(0x500, 7);
+    }
+    ASSERT_TRUE(e.predict(0x500).valid);
+    e.notifyRename(0x500);
+    e.train(0x500, 1234567); // break the pattern
+    e.notifyRename(0x500);
+    e.train(0x500, 42);
+    EXPECT_FALSE(e.predict(0x500).valid);
+}
+
+// ------------------------------------------------------------------- MRN
+
+TEST(Mrn, LearnsStablePair)
+{
+    MrnTable m;
+    for (int i = 0; i < 10; ++i)
+        m.train(0x100, 0x900);
+    MrnPrediction p = m.predict(0x100);
+    ASSERT_TRUE(p.valid);
+    EXPECT_EQ(p.storePc, 0x900u);
+}
+
+TEST(Mrn, NoForwardingMeansNoPrediction)
+{
+    MrnTable m;
+    for (int i = 0; i < 10; ++i)
+        m.train(0x100, 0);
+    EXPECT_FALSE(m.predict(0x100).valid);
+}
+
+TEST(Mrn, UnstablePairResets)
+{
+    MrnTable m;
+    for (int i = 0; i < 10; ++i)
+        m.train(0x100, 0x900);
+    m.train(0x100, 0x800); // different producer: confidence resets
+    EXPECT_FALSE(m.predict(0x100).valid);
+}
+
+TEST(Mrn, PunishClearsConfidence)
+{
+    MrnTable m;
+    for (int i = 0; i < 10; ++i)
+        m.train(0x100, 0x900);
+    ASSERT_TRUE(m.predict(0x100).valid);
+    m.punish(0x100);
+    EXPECT_FALSE(m.predict(0x100).valid);
+}
+
+// ------------------------------------------------------------------- RFP
+
+TEST(Rfp, PredictsStridedAddresses)
+{
+    RfpPredictor r;
+    Addr a = 0x1000;
+    for (int i = 0; i < 10; ++i) {
+        r.predict(0x100);
+        r.train(0x100, a);
+        a += 64;
+    }
+    RfpPrediction p = r.predict(0x100);
+    ASSERT_TRUE(p.valid);
+    EXPECT_EQ(p.addr, a);
+    r.train(0x100, a);
+}
+
+TEST(Rfp, NoPredictionForRandomAddresses)
+{
+    RfpPredictor r;
+    Rng rng(5);
+    for (int i = 0; i < 50; ++i) {
+        EXPECT_FALSE(r.predict(0x200).valid);
+        r.train(0x200, rng.next() & 0xffffff);
+    }
+}
+
+TEST(Rfp, InflightProjection)
+{
+    RfpPredictor r;
+    Addr a = 0;
+    for (int i = 0; i < 10; ++i) {
+        r.train(0x300, a);
+        a += 8;
+    }
+    RfpPrediction p1 = r.predict(0x300);
+    RfpPrediction p2 = r.predict(0x300);
+    ASSERT_TRUE(p1.valid && p2.valid);
+    EXPECT_EQ(p2.addr, p1.addr + 8);
+}
+
+} // namespace
+} // namespace constable
