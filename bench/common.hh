@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "inspector/load_inspector.hh"
+#include "sim/batch.hh"
 #include "sim/runner.hh"
 #include "workloads/suite.hh"
 
@@ -56,6 +57,60 @@ prepareSuite(bool inspect = true)
         if (inspect)
             out[i].inspection = inspectLoads(out[i].trace);
     });
+    return out;
+}
+
+/** Suite views consumed by runMatrix(): trace pointers plus (optionally)
+ *  per-workload global-stable PC sets with stable addresses. */
+struct SuiteMatrixInputs
+{
+    std::vector<const Trace*> traces;
+    std::vector<std::unordered_set<PC>> gsSets;
+    std::vector<const std::unordered_set<PC>*> gs; ///< points into gsSets
+
+    SuiteMatrixInputs() = default;
+    // gs points into gsSets' heap storage: moving the vectors keeps those
+    // element addresses valid, but a copy would alias the source object.
+    SuiteMatrixInputs(const SuiteMatrixInputs&) = delete;
+    SuiteMatrixInputs& operator=(const SuiteMatrixInputs&) = delete;
+    SuiteMatrixInputs(SuiteMatrixInputs&&) = default;
+    SuiteMatrixInputs& operator=(SuiteMatrixInputs&&) = default;
+};
+
+inline SuiteMatrixInputs
+matrixInputs(const std::vector<Workload>& suite, bool use_gs = true)
+{
+    SuiteMatrixInputs in;
+    in.traces.reserve(suite.size());
+    for (const Workload& w : suite)
+        in.traces.push_back(&w.trace);
+    if (use_gs) {
+        in.gsSets.reserve(suite.size());
+        for (const Workload& w : suite)
+            in.gsSets.push_back(w.inspection.globalStablePcs());
+        in.gs.reserve(suite.size());
+        for (const auto& s : in.gsSets)
+            in.gs.push_back(&s);
+    }
+    return in;
+}
+
+/** Row-independent matrix column from a mechanism preset. */
+inline ConfigFactory
+fixedMech(MechanismConfig mech, CoreConfig core = CoreConfig{})
+{
+    return [mech = std::move(mech), core](size_t) {
+        return SystemConfig { core, mech };
+    };
+}
+
+/** SMT2 trace-pair rows for runSmtMatrix() from suite pairings. */
+inline std::vector<std::pair<const Trace*, const Trace*>>
+matrixSmtPairs(const std::vector<Workload>& suite)
+{
+    std::vector<std::pair<const Trace*, const Trace*>> out;
+    for (auto [a, b] : smtPairs(suite.size()))
+        out.emplace_back(&suite[a].trace, &suite[b].trace);
     return out;
 }
 

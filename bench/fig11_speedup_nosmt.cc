@@ -3,6 +3,9 @@
  * Reproduces paper Fig 11: geomean speedup over the baseline (noSMT) of
  * EVES, Constable, EVES+Constable, and EVES+Ideal Constable.
  * Paper reference: 1.047 / 1.051 / 1.085 / 1.103.
+ *
+ * Runs as one {trace x config} matrix on the batch runner; set
+ * CONSTABLE_THREADS=1 to replay serially (numbers are identical).
  */
 
 #include "bench/common.hh"
@@ -14,22 +17,27 @@ int
 main()
 {
     auto suite = prepareSuite();
-    auto base = runAll(suite, [](const Workload&) { return baselineMech(); });
-    auto eves = runAll(suite, [](const Workload&) { return evesMech(); });
-    auto cons = runAll(suite,
-                       [](const Workload&) { return constableMech(); });
-    auto both = runAll(
-        suite, [](const Workload&) { return evesPlusConstableMech(); });
-    auto ideal = runAll(suite, [](const Workload& w) {
-        return evesPlusIdealConstableMech(w.inspection.globalStablePcs());
-    });
+    auto in = matrixInputs(suite);
+
+    std::vector<ConfigFactory> configs = {
+        fixedMech(baselineMech()),
+        fixedMech(evesMech()),
+        fixedMech(constableMech()),
+        fixedMech(evesPlusConstableMech()),
+        [&in](size_t row) {
+            return SystemConfig { CoreConfig{}, evesPlusIdealConstableMech(
+                in.gsSets[row]) };
+        },
+    };
+    MatrixResult m = runMatrix(in.traces, configs, in.gs,
+                               batchOptionsFromEnv());
 
     printCategoryGeomeans(
         "Fig 11: speedup over baseline, noSMT "
         "(paper: EVES 1.047, Constable 1.051, E+C 1.085, E+Ideal 1.103)",
         suite,
-        { speedups(eves, base), speedups(cons, base), speedups(both, base),
-          speedups(ideal, base) },
+        { m.speedupsOver(1, 0), m.speedupsOver(2, 0), m.speedupsOver(3, 0),
+          m.speedupsOver(4, 0) },
         { "EVES", "Constable", "EVES+Const", "EVES+Ideal" });
     return 0;
 }

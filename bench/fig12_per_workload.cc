@@ -4,6 +4,9 @@
  * speedup) for EVES, Constable and EVES+Constable. Paper reference:
  * Constable beats EVES on 60 of 90 workloads (by 4.9% on average); EVES
  * wins the remaining 30 (by 9.2%); the combination beats both everywhere.
+ *
+ * Runs as one {trace x config} matrix on the batch runner; set
+ * CONSTABLE_THREADS=1 to replay serially (numbers are identical).
  */
 
 #include <algorithm>
@@ -18,16 +21,20 @@ int
 main()
 {
     auto suite = prepareSuite();
-    auto base = runAll(suite, [](const Workload&) { return baselineMech(); });
-    auto eves = runAll(suite, [](const Workload&) { return evesMech(); });
-    auto cons = runAll(suite,
-                       [](const Workload&) { return constableMech(); });
-    auto both = runAll(
-        suite, [](const Workload&) { return evesPlusConstableMech(); });
+    auto in = matrixInputs(suite);
 
-    auto se = speedups(eves, base);
-    auto sc = speedups(cons, base);
-    auto sb = speedups(both, base);
+    std::vector<ConfigFactory> configs = {
+        fixedMech(baselineMech()),
+        fixedMech(evesMech()),
+        fixedMech(constableMech()),
+        fixedMech(evesPlusConstableMech()),
+    };
+    MatrixResult m = runMatrix(in.traces, configs, in.gs,
+                               batchOptionsFromEnv());
+
+    auto se = m.speedupsOver(1, 0);
+    auto sc = m.speedupsOver(2, 0);
+    auto sb = m.speedupsOver(3, 0);
 
     std::vector<size_t> order(suite.size());
     std::iota(order.begin(), order.end(), 0);

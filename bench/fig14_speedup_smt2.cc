@@ -4,6 +4,9 @@
  * configuration (45 pairs). Paper reference: EVES 1.036, Constable 1.088,
  * EVES+Constable 1.113 — under SMT, Constable's load-resource relief
  * dominates and it clearly outruns EVES.
+ *
+ * Runs as one {pair x config} matrix on the batch runner; set
+ * CONSTABLE_THREADS=1 to replay serially (numbers are identical).
  */
 
 #include "bench/common.hh"
@@ -15,35 +18,21 @@ int
 main()
 {
     auto suite = prepareSuite(false);
-    auto pairs = smtPairs(suite.size());
+    auto pairs = matrixSmtPairs(suite);
 
-    auto runPairs = [&](const MechanismConfig& mech) {
-        std::vector<RunResult> out(pairs.size());
-        parallelFor(pairs.size(), [&](size_t i) {
-            SystemConfig cfg { CoreConfig{}, mech };
-            out[i] = runSmtPair(suite[pairs[i].first].trace,
-                                suite[pairs[i].second].trace, cfg);
-        });
-        return out;
+    std::vector<ConfigFactory> configs = {
+        fixedMech(baselineMech()),
+        fixedMech(evesMech()),
+        fixedMech(constableMech()),
+        fixedMech(evesPlusConstableMech()),
     };
-
-    auto base = runPairs(baselineMech());
-    auto eves = runPairs(evesMech());
-    auto cons = runPairs(constableMech());
-    auto both = runPairs(evesPlusConstableMech());
-
-    auto gm = [&](const std::vector<RunResult>& rs) {
-        std::vector<double> s;
-        for (size_t i = 0; i < rs.size(); ++i)
-            s.push_back(speedup(rs[i], base[i]));
-        return geomean(s);
-    };
+    MatrixResult m = runSmtMatrix(pairs, configs, batchOptionsFromEnv());
 
     std::printf("Fig 14: SMT2 speedup over baseline, 45 pairs "
                 "(paper: EVES 1.036, Constable 1.088, E+C 1.113)\n");
     std::printf("%-14s%12s\n", "config", "GEOMEAN");
-    std::printf("%-14s%12.4f\n", "EVES", gm(eves));
-    std::printf("%-14s%12.4f\n", "Constable", gm(cons));
-    std::printf("%-14s%12.4f\n", "EVES+Const", gm(both));
+    std::printf("%-14s%12.4f\n", "EVES", geomean(m.speedupsOver(1, 0)));
+    std::printf("%-14s%12.4f\n", "Constable", geomean(m.speedupsOver(2, 0)));
+    std::printf("%-14s%12.4f\n", "EVES+Const", geomean(m.speedupsOver(3, 0)));
     return 0;
 }

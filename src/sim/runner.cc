@@ -1,9 +1,7 @@
 #include "sim/runner.hh"
 
-#include <atomic>
-#include <thread>
-
 #include "common/logging.hh"
+#include "sim/batch.hh"
 
 namespace constable {
 
@@ -162,28 +160,7 @@ speedup(const RunResult& test, const RunResult& base)
 void
 parallelFor(size_t n, const std::function<void(size_t)>& fn)
 {
-    unsigned hw = std::thread::hardware_concurrency();
-    unsigned numThreads = std::max(1u, std::min(hw, 16u));
-    if (n <= 1 || numThreads == 1) {
-        for (size_t i = 0; i < n; ++i)
-            fn(i);
-        return;
-    }
-    std::atomic<size_t> next { 0 };
-    std::vector<std::thread> pool;
-    pool.reserve(numThreads);
-    for (unsigned t = 0; t < numThreads; ++t) {
-        pool.emplace_back([&]() {
-            for (;;) {
-                size_t i = next.fetch_add(1);
-                if (i >= n)
-                    return;
-                fn(i);
-            }
-        });
-    }
-    for (auto& th : pool)
-        th.join();
+    ThreadPool::global().run(n, fn);
 }
 
 } // namespace constable

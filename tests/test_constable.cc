@@ -165,6 +165,58 @@ TEST(Sld, LikelyStableFracDiagnostic)
     EXPECT_NEAR(s.likelyStableFrac(), 0.5, 1e-9);
 }
 
+TEST(Sld, CustomThresholdReclimbsAfterHalving)
+{
+    SldConfig cfg;
+    cfg.confThreshold = 10;
+    cfg.confMax = 12;
+    Sld s(cfg);
+    s.train(0x100, 0x5000, 42, false);
+    for (int i = 0; i < 50; ++i)
+        s.train(0x100, 0x5000, 42, false); // saturates at confMax = 12
+    ASSERT_TRUE(s.lookup(0x100).likelyStable);
+    s.train(0x100, 0x5000, 7, false); // mismatch: 12 -> 6
+    EXPECT_FALSE(s.lookup(0x100).likelyStable);
+    for (int i = 0; i < 4; ++i)
+        s.train(0x100, 0x5000, 7, false); // 6 -> 10
+    EXPECT_TRUE(s.lookup(0x100).likelyStable);
+}
+
+TEST(Sld, ResetAndHalveOnUnknownPcAreSafe)
+{
+    Sld s;
+    s.resetCanEliminate(0x900);
+    s.halveConfidence(0x900);
+    EXPECT_EQ(s.resets, 0u);
+    EXPECT_FALSE(s.lookup(0x900).hit);
+}
+
+TEST(Sld, ArmRequiresMatchingOutcome)
+{
+    Sld s;
+    s.train(0x100, 0x5000, 42, false);
+    for (int i = 0; i < 31; ++i)
+        s.train(0x100, 0x5000, 42, false);
+    ASSERT_TRUE(s.lookup(0x100).likelyStable);
+    // Marked likely-stable at rename, but the outcome changed: no arm.
+    EXPECT_FALSE(s.train(0x100, 0x5000, 43, true));
+    EXPECT_FALSE(s.lookup(0x100).canEliminate);
+}
+
+TEST(Sld, RepeatedHalvingBottomsOutAndRetrains)
+{
+    Sld s;
+    s.train(0x100, 0x5000, 42, false);
+    for (int i = 0; i < 31; ++i)
+        s.train(0x100, 0x5000, 42, false);
+    for (int i = 0; i < 10; ++i)
+        s.halveConfidence(0x100); // must clamp at zero without wrapping
+    EXPECT_FALSE(s.lookup(0x100).likelyStable);
+    for (int i = 0; i < 31; ++i)
+        s.train(0x100, 0x5000, 42, false);
+    EXPECT_TRUE(s.lookup(0x100).likelyStable);
+}
+
 // ------------------------------------------------------------------- RMT
 
 TEST(Rmt, InsertAndDrain)
@@ -211,6 +263,20 @@ TEST(Rmt, RemovePcEverywhere)
     r.removePc(0x100);
     EXPECT_TRUE(r.drainOnWrite(RBX).empty());
     EXPECT_TRUE(r.drainOnWrite(RCX).empty());
+}
+
+TEST(Rmt, DrainLeavesOtherRegistersIntact)
+{
+    Rmt r;
+    std::vector<PC> evicted;
+    r.insert(RBX, 0x100, evicted);
+    r.insert(RCX, 0x100, evicted);
+    auto drained = r.drainOnWrite(RBX);
+    ASSERT_EQ(drained.size(), 1u);
+    EXPECT_EQ(drained[0], 0x100u);
+    // RCX still monitors the PC until its own write (or removePc).
+    EXPECT_EQ(r.occupancy(RCX), 1u);
+    EXPECT_EQ(r.drainOnWrite(RCX).size(), 1u);
 }
 
 TEST(Rmt, FlushAll)
@@ -480,6 +546,107 @@ TEST(Engine, PinnedVariantIgnoresL1Evict)
     e.releaseEliminated();
     e.onL1Evict(lineAddr(0x5000));
     EXPECT_TRUE(e.renameLoad(0x100, AddrMode::PcRel).eliminate);
+    e.releaseEliminated();
+}
+
+TEST(Engine, AmtIEvictOfOtherLineKeepsElimination)
+{
+    ConstableConfig cfg;
+    cfg.cvBitPinning = false; // the constableAmtIMech() variant
+    ConstableEngine e(cfg);
+    warmUntilArmed(e, 0x100, 0x5000, 42);
+    ASSERT_TRUE(e.renameLoad(0x100, AddrMode::PcRel).eliminate);
+    e.releaseEliminated();
+    e.onL1Evict(lineAddr(0x9000)); // unrelated line
+    EXPECT_TRUE(e.renameLoad(0x100, AddrMode::PcRel).eliminate);
+    e.releaseEliminated();
+}
+
+TEST(Engine, AmtIReArmsWithOneWritebackAfterEvict)
+{
+    ConstableConfig cfg;
+    cfg.cvBitPinning = false;
+    ConstableEngine e(cfg);
+    warmUntilArmed(e, 0x100, 0x5000, 42);
+    e.onL1Evict(lineAddr(0x5000));
+    ElimDecision d = e.renameLoad(0x100, AddrMode::PcRel);
+    ASSERT_FALSE(d.eliminate);
+    // Confidence survives the eviction reset, so one matching writeback
+    // re-arms (the cheapness of recovery is what makes AMT-I viable).
+    EXPECT_TRUE(d.likelyStable);
+    EXPECT_TRUE(e.writebackLoad(0x100, 0x5000, 42, true,
+                                { kNoReg, kNoReg, kNoReg }));
+    EXPECT_TRUE(e.renameLoad(0x100, AddrMode::PcRel).eliminate);
+    e.releaseEliminated();
+}
+
+TEST(Engine, PinningDoesNotProtectAgainstStoreConflicts)
+{
+    ConstableEngine e; // cvBitPinning = true (default full Constable)
+    warmUntilArmed(e, 0x100, 0x5000, 42);
+    ASSERT_TRUE(e.renameLoad(0x100, AddrMode::PcRel).eliminate);
+    e.releaseEliminated();
+    // Pinning only rides out L1D capacity evictions; a real store to the
+    // monitored line must still reset elimination (correctness).
+    e.storeOrSnoopAddr(0x5020);
+    EXPECT_EQ(e.storeResets, 1u);
+    EXPECT_FALSE(e.renameLoad(0x100, AddrMode::PcRel).eliminate);
+    EXPECT_EQ(e.snoopResets, 0u);
+}
+
+TEST(Engine, AmtCapacityEvictionResetsVictimEvenWhenPinned)
+{
+    ConstableConfig cfg;
+    cfg.amt.sets = 1;
+    cfg.amt.ways = 2;
+    ConstableEngine e(cfg); // pinned variant
+    warmUntilArmed(e, 0x100, 0x5000, 1);
+    warmUntilArmed(e, 0x200, 0x6000, 2);
+    ASSERT_TRUE(e.renameLoad(0x100, AddrMode::PcRel).eliminate);
+    e.releaseEliminated();
+    // Arming a third line overflows the single set: the LRU victim (0x100)
+    // loses AMT monitoring and must stop eliminating, pinning or not.
+    warmUntilArmed(e, 0x300, 0x7000, 3);
+    ElimDecision d = e.renameLoad(0x100, AddrMode::PcRel);
+    EXPECT_FALSE(d.eliminate);
+    EXPECT_TRUE(d.likelyStable); // confidence itself is kept
+    EXPECT_TRUE(e.renameLoad(0x300, AddrMode::PcRel).eliminate);
+    e.releaseEliminated();
+}
+
+TEST(Engine, AnyAddressSourceWriteResetsElimination)
+{
+    ConstableEngine e;
+    std::array<uint8_t, 3> srcs = { RBX, RCX, kNoReg };
+    warmUntilArmed(e, 0x100, 0x5000, 42, AddrMode::RegRel, srcs);
+    ASSERT_TRUE(e.renameLoad(0x100, AddrMode::RegRel).eliminate);
+    e.releaseEliminated();
+    // Second source register written: elimination stops.
+    EXPECT_EQ(e.renameDstWrite(RCX), 1u);
+    EXPECT_FALSE(e.renameLoad(0x100, AddrMode::RegRel).eliminate);
+    // The reset also dropped the RBX monitor (fresh re-insert policy), so a
+    // write to RBX now drains nothing.
+    EXPECT_EQ(e.renameDstWrite(RBX), 0u);
+    // Re-arming re-inserts all sources; the first register works again.
+    EXPECT_TRUE(e.writebackLoad(0x100, 0x5000, 42, true, srcs));
+    ASSERT_TRUE(e.renameLoad(0x100, AddrMode::RegRel).eliminate);
+    e.releaseEliminated();
+    EXPECT_EQ(e.renameDstWrite(RBX), 1u);
+    EXPECT_FALSE(e.renameLoad(0x100, AddrMode::RegRel).eliminate);
+}
+
+TEST(Engine, StoreConflictBackoffStillRetrainable)
+{
+    ConstableEngine e;
+    warmUntilArmed(e, 0x100, 0x5000, 42);
+    // A store changes the value; training follows the new value and the
+    // load becomes eliminable again at the updated contents.
+    e.storeOrSnoopAddr(0x5000);
+    ASSERT_FALSE(e.renameLoad(0x100, AddrMode::PcRel).eliminate);
+    warmUntilArmed(e, 0x100, 0x5000, 99);
+    ElimDecision d = e.renameLoad(0x100, AddrMode::PcRel);
+    ASSERT_TRUE(d.eliminate);
+    EXPECT_EQ(d.value, 99u);
     e.releaseEliminated();
 }
 
