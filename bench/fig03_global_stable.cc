@@ -7,21 +7,23 @@
  * 37.4% reg-rel; (c) bimodal with ~31.9% under 50 and ~31.8% over 250.
  */
 
-#include "bench/common.hh"
+#include <cstdio>
+
+#include "sim/experiment.hh"
 
 using namespace constable;
-using namespace constable::bench;
 
 int
-main()
+main(int argc, char** argv)
 {
-    auto suite = prepareSuite();
+    auto opts = ExperimentOptions::fromArgs(argc, argv);
+    Suite suite = Suite::prepare(opts);
 
     std::vector<std::vector<double>> fracs(1);
     std::vector<std::vector<double>> modes(3);
     std::vector<std::vector<double>> dist(4);
-    for (const auto& w : suite) {
-        const auto& r = w.inspection;
+    for (size_t i = 0; i < suite.size(); ++i) {
+        const auto& r = suite.inspection(i);
         fracs[0].push_back(r.globalStableFrac());
         modes[0].push_back(r.modeFrac(AddrMode::PcRel));
         modes[1].push_back(r.modeFrac(AddrMode::StackRel));
@@ -30,19 +32,18 @@ main()
             dist[b].push_back(r.distanceHist.bucketFrac(b));
     }
 
-    printCategoryMeans("Fig 3(a): global-stable fraction of dynamic loads "
-                       "(paper AVG: 34.2%)",
-                       suite, fracs, { "global-stable" });
+    suite.printMeans("Fig 3(a): global-stable fraction of dynamic loads "
+                     "(paper AVG: 34.2%)",
+                     fracs, { "global-stable" });
     std::printf("\n");
-    printCategoryMeans("Fig 3(b): addressing-mode distribution of "
-                       "global-stable loads (paper: 20/42.6/37.4%)",
-                       suite, modes,
-                       { "PC-relative", "Stack-relative", "Reg-relative" });
+    suite.printMeans("Fig 3(b): addressing-mode distribution of "
+                     "global-stable loads (paper: 20/42.6/37.4%)",
+                     modes,
+                     { "PC-relative", "Stack-relative", "Reg-relative" });
     std::printf("\n");
-    printCategoryMeans("Fig 3(c): inter-occurrence distance of global-"
-                       "stable loads (paper: bimodal, ~32%/32% ends)",
-                       suite, dist,
-                       { "[0,50)", "[50,100)", "[100,250)", "250+" });
+    suite.printMeans("Fig 3(c): inter-occurrence distance of global-"
+                     "stable loads (paper: bimodal, ~32%/32% ends)",
+                     dist, { "[0,50)", "[50,100)", "[100,250)", "250+" });
 
     // Fig 3(d): distance distribution per addressing mode (suite-wide).
     std::printf("\nFig 3(d): distance distribution by addressing mode\n");
@@ -52,9 +53,9 @@ main()
                                 AddrMode::RegRel };
     for (AddrMode m : order) {
         Histogram agg({ 50, 100, 250 });
-        for (const auto& w : suite) {
+        for (size_t i = 0; i < suite.size(); ++i) {
             const auto& h =
-                w.inspection.distByMode[static_cast<unsigned>(m)];
+                suite.inspection(i).distByMode[static_cast<unsigned>(m)];
             for (size_t b = 0; b < 4; ++b)
                 agg.add(b == 0 ? 0 : (b == 1 ? 50 : (b == 2 ? 100 : 250)),
                         h.bucketCount(b));

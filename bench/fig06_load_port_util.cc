@@ -6,20 +6,24 @@
  * a non-global-stable load waits (paper AVG: 23.0%).
  */
 
-#include "bench/common.hh"
+#include <cstdio>
+
+#include "sim/experiment.hh"
 
 using namespace constable;
-using namespace constable::bench;
 
 int
-main()
+main(int argc, char** argv)
 {
-    auto suite = prepareSuite();
-    auto runs = runAll(suite, [](const Workload&) { return evesMech(); });
+    auto opts = ExperimentOptions::fromArgs(argc, argv);
+    Suite suite = Suite::prepare(opts);
+    auto res = Experiment("fig06", suite, opts)
+                   .add("eves", evesMech())
+                   .run();
 
     std::vector<std::vector<double>> util(1), cat(3);
     for (size_t i = 0; i < suite.size(); ++i) {
-        const StatSet& s = runs[i].stats;
+        const StatSet& s = res.at(i, "eves").stats;
         double cycles = s.get("cycles");
         double lu = s.get("cycles.loadUtil");
         util[0].push_back(ratio(lu, cycles));
@@ -30,14 +34,14 @@ main()
         cat[2].push_back(ratio(lu - gsWait - gsNoWait, lu));
     }
 
-    printCategoryMeans("Fig 6(a): load-utilized cycle fraction "
-                       "(paper AVG: 32.7%)",
-                       suite, util, { "load-utilized" });
+    res.printMeans("Fig 6(a): load-utilized cycle fraction "
+                   "(paper AVG: 32.7%)",
+                   util, { "load-utilized" });
     std::printf("\n");
-    printCategoryMeans(
+    res.printMeans(
         "Fig 6(b): load-utilized cycle categories (paper: 23.0% "
         "gs-occupied-while-waiting)",
-        suite, cat,
+        cat,
         { "gs busy, non-gs waits", "gs busy, none waits", "non-gs only" });
     return 0;
 }

@@ -6,39 +6,50 @@
  * Paper reference: 1.043 / 1.0669 / 1.088 / 1.091.
  */
 
-#include "bench/common.hh"
+#include "sim/experiment.hh"
 
 using namespace constable;
-using namespace constable::bench;
 
 int
-main()
+main(int argc, char** argv)
 {
-    auto suite = prepareSuite();
-    auto base = runAll(suite, [](const Workload&) { return baselineMech(); });
-    auto lvp = runAll(suite, [](const Workload& w) {
-        return idealMech(IdealMode::StableLvp,
-                         w.inspection.globalStablePcs());
-    });
-    auto nofetch = runAll(suite, [](const Workload& w) {
-        return idealMech(IdealMode::StableLvpNoFetch,
-                         w.inspection.globalStablePcs());
-    });
+    auto opts = ExperimentOptions::fromArgs(argc, argv);
+    Suite suite = Suite::prepare(opts);
+
     CoreConfig wide;
     wide.loadPorts *= 2;
-    auto width2 = runAll(
-        suite, [](const Workload&) { return baselineMech(); }, wide);
-    auto ideal = runAll(suite, [](const Workload& w) {
-        return idealMech(IdealMode::Constable,
-                         w.inspection.globalStablePcs());
-    });
 
-    printCategoryGeomeans(
+    auto res =
+        Experiment("fig07", suite, opts)
+            .add("baseline", baselineMech())
+            .add("lvp",
+                 [&suite](size_t row) {
+                     return SystemConfig { CoreConfig{},
+                         idealMech(IdealMode::StableLvp,
+                                   suite.globalStablePcs(row)) };
+                 })
+            .add("nofetch",
+                 [&suite](size_t row) {
+                     return SystemConfig { CoreConfig{},
+                         idealMech(IdealMode::StableLvpNoFetch,
+                                   suite.globalStablePcs(row)) };
+                 })
+            .add("width2", baselineMech(), wide)
+            .add("ideal",
+                 [&suite](size_t row) {
+                     return SystemConfig { CoreConfig{},
+                         idealMech(IdealMode::Constable,
+                                   suite.globalStablePcs(row)) };
+                 })
+            .run();
+
+    res.printGeomeans(
         "Fig 7: headroom over baseline "
         "(paper: LVP 1.043, LVP+noFetch 1.067, 2xWidth 1.088, Ideal 1.091)",
-        suite,
-        { speedups(lvp, base), speedups(nofetch, base),
-          speedups(width2, base), speedups(ideal, base) },
+        { res.speedups("lvp", "baseline"),
+          res.speedups("nofetch", "baseline"),
+          res.speedups("width2", "baseline"),
+          res.speedups("ideal", "baseline") },
         { "IdealLVP", "LVP+noFetch", "2xLoadWidth", "IdealConst" });
     return 0;
 }

@@ -7,49 +7,55 @@
  * workloads under 1%).
  */
 
-#include "bench/common.hh"
+#include <cmath>
+#include <cstdio>
+
+#include "sim/experiment.hh"
 
 using namespace constable;
-using namespace constable::bench;
 
 int
-main()
+main(int argc, char** argv)
 {
-    auto suite = prepareSuite();
-    auto cons = runAll(suite,
-                       [](const Workload&) { return constableMech(); });
-
-    std::vector<double> updates;
-    double leTwoSum = 0;
-    for (const auto& r : cons) {
-        updates.push_back(r.stats.get("sld.updates.perCycle"));
-        // Histogram buckets: [0,1) [1,2) [2,3) [3,4) 4+.
-        leTwoSum += r.stats.get("sld.updates.hist.0") +
-                    r.stats.get("sld.updates.hist.1") +
-                    r.stats.get("sld.updates.hist.2");
-    }
-    printCategoryBoxWhisker(
-        "Fig 9(a): SLD updates per cycle (paper mean: 0.28)", suite,
-        updates);
-    std::printf("  cycles with <= 2 updates: %.2f%% (paper: 98.23%%)\n\n",
-                100.0 * leTwoSum / static_cast<double>(cons.size()));
+    auto opts = ExperimentOptions::fromArgs(argc, argv);
+    Suite suite = Suite::prepare(opts);
 
     MechanismConfig noWp = constableMech();
     noWp.constable.wrongPathUpdates = false;
-    auto consNoWp = runAll(suite, [&](const Workload&) { return noWp; });
 
+    auto res = Experiment("fig09", suite, opts)
+                   .add("constable", constableMech())
+                   .add("noWrongPath", noWp)
+                   .run();
+
+    std::vector<double> updates =
+        res.statColumn("constable", "sld.updates.perCycle");
+    double leTwoSum = 0;
+    for (size_t i = 0; i < suite.size(); ++i) {
+        const StatSet& s = res.at(i, "constable").stats;
+        // Histogram buckets: [0,1) [1,2) [2,3) [3,4) 4+.
+        leTwoSum += s.get("sld.updates.hist.0") +
+                    s.get("sld.updates.hist.1") +
+                    s.get("sld.updates.hist.2");
+    }
+    res.printBoxWhisker(
+        "Fig 9(a): SLD updates per cycle (paper mean: 0.28)", updates);
+    std::printf("  cycles with <= 2 updates: %.2f%% (paper: 98.23%%)\n\n",
+                100.0 * leTwoSum / static_cast<double>(suite.size()));
+
+    auto relative = res.speedups("noWrongPath", "constable");
     std::vector<double> change;
     unsigned under1pct = 0;
-    for (size_t i = 0; i < suite.size(); ++i) {
-        double c = speedup(consNoWp[i], cons[i]) - 1.0;
+    for (double r : relative) {
+        double c = r - 1.0;
         change.push_back(c);
         if (std::abs(c) < 0.01)
             ++under1pct;
     }
-    printCategoryBoxWhisker(
+    res.printBoxWhisker(
         "Fig 9(b): performance change, correct-path-only updates vs "
         "all-path updates (paper avg: 0.2%)",
-        suite, change);
+        change);
     std::printf("  workloads with <1%% absolute change: %u / %zu "
                 "(paper: 82 / 90)\n",
                 under1pct, suite.size());

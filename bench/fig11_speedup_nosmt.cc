@@ -4,40 +4,42 @@
  * EVES, Constable, EVES+Constable, and EVES+Ideal Constable.
  * Paper reference: 1.047 / 1.051 / 1.085 / 1.103.
  *
- * Runs as one {trace x config} matrix on the batch runner; set
- * CONSTABLE_THREADS=1 to replay serially (numbers are identical).
+ * Runs as one named-config Experiment on the deterministic batch matrix;
+ * --threads=1 (or CONSTABLE_THREADS=1) replays serially with identical
+ * numbers, and --checkpoint-dir resumes an interrupted sweep.
  */
 
-#include "bench/common.hh"
+#include "sim/experiment.hh"
 
 using namespace constable;
-using namespace constable::bench;
 
 int
-main()
+main(int argc, char** argv)
 {
-    auto suite = prepareSuite();
-    auto in = matrixInputs(suite);
+    auto opts = ExperimentOptions::fromArgs(argc, argv);
+    Suite suite = Suite::prepare(opts);
 
-    std::vector<ConfigFactory> configs = {
-        fixedMech(baselineMech()),
-        fixedMech(evesMech()),
-        fixedMech(constableMech()),
-        fixedMech(evesPlusConstableMech()),
-        [&in](size_t row) {
-            return SystemConfig { CoreConfig{}, evesPlusIdealConstableMech(
-                in.gsSets[row]) };
-        },
-    };
-    MatrixResult m = runMatrix(in.traces, configs, in.gs,
-                               batchOptionsFromEnv());
+    auto res =
+        Experiment("fig11", suite, opts)
+            .add("baseline", baselineMech())
+            .add("eves", evesMech())
+            .add("constable", constableMech())
+            .add("eves+const", evesPlusConstableMech())
+            .add("eves+ideal",
+                 [&suite](size_t row) {
+                     return SystemConfig { CoreConfig{},
+                         evesPlusIdealConstableMech(
+                             suite.globalStablePcs(row)) };
+                 })
+            .run();
 
-    printCategoryGeomeans(
+    res.printGeomeans(
         "Fig 11: speedup over baseline, noSMT "
         "(paper: EVES 1.047, Constable 1.051, E+C 1.085, E+Ideal 1.103)",
-        suite,
-        { m.speedupsOver(1, 0), m.speedupsOver(2, 0), m.speedupsOver(3, 0),
-          m.speedupsOver(4, 0) },
+        { res.speedups("eves", "baseline"),
+          res.speedups("constable", "baseline"),
+          res.speedups("eves+const", "baseline"),
+          res.speedups("eves+ideal", "baseline") },
         { "EVES", "Constable", "EVES+Const", "EVES+Ideal" });
     return 0;
 }

@@ -5,36 +5,35 @@
  * Constable beats EVES on 60 of 90 workloads (by 4.9% on average); EVES
  * wins the remaining 30 (by 9.2%); the combination beats both everywhere.
  *
- * Runs as one {trace x config} matrix on the batch runner; set
- * CONSTABLE_THREADS=1 to replay serially (numbers are identical).
+ * Runs as one named-config Experiment on the deterministic batch matrix;
+ * --threads=1 (or CONSTABLE_THREADS=1) replays serially with identical
+ * numbers.
  */
 
 #include <algorithm>
+#include <cstdio>
 #include <numeric>
 
-#include "bench/common.hh"
+#include "sim/experiment.hh"
 
 using namespace constable;
-using namespace constable::bench;
 
 int
-main()
+main(int argc, char** argv)
 {
-    auto suite = prepareSuite();
-    auto in = matrixInputs(suite);
+    auto opts = ExperimentOptions::fromArgs(argc, argv);
+    Suite suite = Suite::prepare(opts);
 
-    std::vector<ConfigFactory> configs = {
-        fixedMech(baselineMech()),
-        fixedMech(evesMech()),
-        fixedMech(constableMech()),
-        fixedMech(evesPlusConstableMech()),
-    };
-    MatrixResult m = runMatrix(in.traces, configs, in.gs,
-                               batchOptionsFromEnv());
+    auto res = Experiment("fig12", suite, opts)
+                   .add("baseline", baselineMech())
+                   .add("eves", evesMech())
+                   .add("constable", constableMech())
+                   .add("eves+const", evesPlusConstableMech())
+                   .run();
 
-    auto se = m.speedupsOver(1, 0);
-    auto sc = m.speedupsOver(2, 0);
-    auto sb = m.speedupsOver(3, 0);
+    auto se = res.speedups("eves", "baseline");
+    auto sc = res.speedups("constable", "baseline");
+    auto sb = res.speedups("eves+const", "baseline");
 
     std::vector<size_t> order(suite.size());
     std::iota(order.begin(), order.end(), 0);
@@ -49,7 +48,7 @@ main()
     for (size_t rank = 0; rank < order.size(); ++rank) {
         size_t i = order[rank];
         std::printf("%4zu %-34s%10.3f%10.3f%10.3f\n", rank + 1,
-                    suite[i].spec.name.c_str(), se[i], sc[i], sb[i]);
+                    suite.spec(i).name.c_str(), se[i], sc[i], sb[i]);
         if (sc[i] >= se[i]) {
             ++consWins;
             consWinMargin += sc[i] / se[i] - 1.0;

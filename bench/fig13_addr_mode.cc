@@ -6,34 +6,32 @@
  * nearly additive to the full 1.051.
  */
 
-#include "bench/common.hh"
+#include "sim/experiment.hh"
 
 using namespace constable;
-using namespace constable::bench;
 
 int
-main()
+main(int argc, char** argv)
 {
-    auto suite = prepareSuite();
-    auto base = runAll(suite, [](const Workload&) { return baselineMech(); });
-    auto pc = runAll(suite, [](const Workload&) {
-        return constableModeOnlyMech(AddrMode::PcRel);
-    });
-    auto stack = runAll(suite, [](const Workload&) {
-        return constableModeOnlyMech(AddrMode::StackRel);
-    });
-    auto reg = runAll(suite, [](const Workload&) {
-        return constableModeOnlyMech(AddrMode::RegRel);
-    });
-    auto all = runAll(suite,
-                      [](const Workload&) { return constableMech(); });
+    auto opts = ExperimentOptions::fromArgs(argc, argv);
+    Suite suite = Suite::prepare(opts);
 
-    printCategoryGeomeans(
+    auto res = Experiment("fig13", suite, opts)
+                   .add("baseline", baselineMech())
+                   .add("pc-only", constableModeOnlyMech(AddrMode::PcRel))
+                   .add("stack-only",
+                        constableModeOnlyMech(AddrMode::StackRel))
+                   .add("reg-only", constableModeOnlyMech(AddrMode::RegRel))
+                   .add("all", constableMech())
+                   .run();
+
+    res.printGeomeans(
         "Fig 13: speedup by eliminated addressing mode "
         "(paper: PC 1.011, stack 1.026, reg 1.018, all 1.051)",
-        suite,
-        { speedups(pc, base), speedups(stack, base), speedups(reg, base),
-          speedups(all, base) },
+        { res.speedups("pc-only", "baseline"),
+          res.speedups("stack-only", "baseline"),
+          res.speedups("reg-only", "baseline"),
+          res.speedups("all", "baseline") },
         { "PC-rel only", "Stack only", "Reg only", "All loads" });
     return 0;
 }

@@ -5,34 +5,38 @@
  * EVES+Constable 1.113 — under SMT, Constable's load-resource relief
  * dominates and it clearly outruns EVES.
  *
- * Runs as one {pair x config} matrix on the batch runner; set
- * CONSTABLE_THREADS=1 to replay serially (numbers are identical).
+ * Runs as one named-config SMT Experiment on the deterministic batch
+ * matrix; --threads=1 (or CONSTABLE_THREADS=1) replays serially with
+ * identical numbers.
  */
 
-#include "bench/common.hh"
+#include <cstdio>
+
+#include "sim/experiment.hh"
 
 using namespace constable;
-using namespace constable::bench;
 
 int
-main()
+main(int argc, char** argv)
 {
-    auto suite = prepareSuite(false);
-    auto pairs = matrixSmtPairs(suite);
+    auto opts = ExperimentOptions::fromArgs(argc, argv);
+    Suite suite = Suite::prepare(opts, /*inspect=*/false);
 
-    std::vector<ConfigFactory> configs = {
-        fixedMech(baselineMech()),
-        fixedMech(evesMech()),
-        fixedMech(constableMech()),
-        fixedMech(evesPlusConstableMech()),
-    };
-    MatrixResult m = runSmtMatrix(pairs, configs, batchOptionsFromEnv());
+    auto res = Experiment("fig14", suite, opts)
+                   .add("baseline", baselineMech())
+                   .add("eves", evesMech())
+                   .add("constable", constableMech())
+                   .add("eves+const", evesPlusConstableMech())
+                   .runSmt();
 
     std::printf("Fig 14: SMT2 speedup over baseline, 45 pairs "
                 "(paper: EVES 1.036, Constable 1.088, E+C 1.113)\n");
     std::printf("%-14s%12s\n", "config", "GEOMEAN");
-    std::printf("%-14s%12.4f\n", "EVES", geomean(m.speedupsOver(1, 0)));
-    std::printf("%-14s%12.4f\n", "Constable", geomean(m.speedupsOver(2, 0)));
-    std::printf("%-14s%12.4f\n", "EVES+Const", geomean(m.speedupsOver(3, 0)));
+    std::printf("%-14s%12.4f\n", "EVES",
+                geomean(res.speedups("eves", "baseline")));
+    std::printf("%-14s%12.4f\n", "Constable",
+                geomean(res.speedups("constable", "baseline")));
+    std::printf("%-14s%12.4f\n", "EVES+Const",
+                geomean(res.speedups("eves+const", "baseline")));
     return 0;
 }

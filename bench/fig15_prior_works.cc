@@ -5,31 +5,33 @@
  * ELAR+Constable 1.054, RFP+Constable 1.081.
  */
 
-#include "bench/common.hh"
+#include "sim/experiment.hh"
 
 using namespace constable;
-using namespace constable::bench;
 
 int
-main()
+main(int argc, char** argv)
 {
-    auto suite = prepareSuite();
-    auto base = runAll(suite, [](const Workload&) { return baselineMech(); });
-    auto elar = runAll(suite, [](const Workload&) { return elarMech(); });
-    auto rfp = runAll(suite, [](const Workload&) { return rfpMech(); });
-    auto cons = runAll(suite,
-                       [](const Workload&) { return constableMech(); });
-    auto ec = runAll(suite,
-                     [](const Workload&) { return elarPlusConstableMech(); });
-    auto rc = runAll(suite,
-                     [](const Workload&) { return rfpPlusConstableMech(); });
+    auto opts = ExperimentOptions::fromArgs(argc, argv);
+    Suite suite = Suite::prepare(opts);
 
-    printCategoryGeomeans(
+    auto res = Experiment("fig15", suite, opts)
+                   .add("baseline", baselineMech())
+                   .add("elar", elarMech())
+                   .add("rfp", rfpMech())
+                   .add("constable", constableMech())
+                   .add("elar+const", elarPlusConstableMech())
+                   .add("rfp+const", rfpPlusConstableMech())
+                   .run();
+
+    res.printGeomeans(
         "Fig 15: Constable vs prior works "
         "(paper: ELAR 1.007, RFP 1.045, Const 1.051, E+C 1.054, R+C 1.081)",
-        suite,
-        { speedups(elar, base), speedups(rfp, base), speedups(cons, base),
-          speedups(ec, base), speedups(rc, base) },
+        { res.speedups("elar", "baseline"),
+          res.speedups("rfp", "baseline"),
+          res.speedups("constable", "baseline"),
+          res.speedups("elar+const", "baseline"),
+          res.speedups("rfp+const", "baseline") },
         { "ELAR", "RFP", "Constable", "ELAR+Const", "RFP+Const" });
     return 0;
 }

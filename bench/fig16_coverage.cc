@@ -5,45 +5,45 @@
  * EVES 27.3%, Constable 23.5%, EVES+Constable 35.5%, EVES+Ideal 41.6%.
  */
 
-#include "bench/common.hh"
+#include "sim/experiment.hh"
 
 using namespace constable;
-using namespace constable::bench;
-
-namespace {
-
-std::vector<double>
-coverage(const std::vector<RunResult>& rs)
-{
-    std::vector<double> out;
-    for (const auto& r : rs) {
-        out.push_back(ratio(r.stats.get("loads.eliminated") +
-                                r.stats.get("loads.vp"),
-                            r.stats.get("loads.retired")));
-    }
-    return out;
-}
-
-} // namespace
 
 int
-main()
+main(int argc, char** argv)
 {
-    auto suite = prepareSuite();
-    auto eves = runAll(suite, [](const Workload&) { return evesMech(); });
-    auto cons = runAll(suite,
-                       [](const Workload&) { return constableMech(); });
-    auto both = runAll(
-        suite, [](const Workload&) { return evesPlusConstableMech(); });
-    auto ideal = runAll(suite, [](const Workload& w) {
-        return evesPlusIdealConstableMech(w.inspection.globalStablePcs());
-    });
+    auto opts = ExperimentOptions::fromArgs(argc, argv);
+    Suite suite = Suite::prepare(opts);
 
-    printCategoryMeans(
+    auto res =
+        Experiment("fig16", suite, opts)
+            .add("eves", evesMech())
+            .add("constable", constableMech())
+            .add("eves+const", evesPlusConstableMech())
+            .add("eves+ideal",
+                 [&suite](size_t row) {
+                     return SystemConfig { CoreConfig{},
+                         evesPlusIdealConstableMech(
+                             suite.globalStablePcs(row)) };
+                 })
+            .run();
+
+    auto coverage = [&](const std::string& cfg) {
+        std::vector<double> out;
+        for (size_t i = 0; i < suite.size(); ++i) {
+            const StatSet& s = res.at(i, cfg).stats;
+            out.push_back(ratio(s.get("loads.eliminated") +
+                                    s.get("loads.vp"),
+                                s.get("loads.retired")));
+        }
+        return out;
+    };
+
+    res.printMeans(
         "Fig 16: load coverage (paper: EVES 27.3%, Constable 23.5%, "
         "E+C 35.5%, E+Ideal 41.6%)",
-        suite,
-        { coverage(eves), coverage(cons), coverage(both), coverage(ideal) },
+        { coverage("eves"), coverage("constable"), coverage("eves+const"),
+          coverage("eves+ideal") },
         { "EVES", "Constable", "EVES+Const", "EVES+Ideal" });
     return 0;
 }

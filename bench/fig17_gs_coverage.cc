@@ -8,30 +8,32 @@
  * non-global-stable eliminations.
  */
 
-#include "bench/common.hh"
+#include <cstdio>
+
+#include "sim/experiment.hh"
 
 using namespace constable;
-using namespace constable::bench;
 
 int
-main()
+main(int argc, char** argv)
 {
-    auto suite = prepareSuite();
-    auto cons = runAll(suite,
-                       [](const Workload&) { return constableMech(); });
+    auto opts = ExperimentOptions::fromArgs(argc, argv);
+    Suite suite = Suite::prepare(opts);
+    auto res = Experiment("fig17", suite, opts)
+                   .add("constable", constableMech())
+                   .run();
 
     std::vector<std::vector<double>> rows(3);
     std::vector<std::vector<double>> perMode(3);
     for (size_t i = 0; i < suite.size(); ++i) {
-        const StatSet& s = cons[i].stats;
+        const StatSet& s = res.at(i, "constable").stats;
         double gs = s.get("loads.gs");
         rows[0].push_back(ratio(s.get("loads.gsEliminated"), gs));
-        rows[1].push_back(
-            ratio(gs - s.get("loads.gsEliminated"), gs));
+        rows[1].push_back(ratio(gs - s.get("loads.gsEliminated"), gs));
         rows[2].push_back(ratio(s.get("loads.nonGsEliminated"), gs));
 
         // Runtime elimination rate by mode, over the inspection totals.
-        const auto& insp = suite[i].inspection;
+        const auto& insp = suite.inspection(i);
         double dynGs[3] = {
             static_cast<double>(insp.dynGlobalStableByMode[
                 static_cast<unsigned>(AddrMode::PcRel)]),
@@ -45,15 +47,15 @@ main()
         perMode[2].push_back(ratio(s.get("loads.elim.regRel"), dynGs[2]));
     }
 
-    printCategoryMeans(
+    res.printMeans(
         "Fig 17: eliminated fraction of global-stable loads "
         "(paper: 56.4% eliminated; +13.5% extra non-global-stable)",
-        suite, rows,
+        rows,
         { "gs eliminated", "gs not eliminated", "non-gs eliminated" });
     std::printf("\n");
-    printCategoryMeans(
+    res.printMeans(
         "Fig 17 (by mode): eliminations / dynamic global-stable loads "
         "(paper: PC-rel 70.2%, reg-rel 33.2%)",
-        suite, perMode, { "PC-relative", "Stack-relative", "Reg-relative" });
+        perMode, { "PC-relative", "Stack-relative", "Reg-relative" });
     return 0;
 }

@@ -6,33 +6,35 @@
  * -26.0% avg; Server highest, ISPEC17 lowest.
  */
 
-#include "bench/common.hh"
+#include <cstdio>
+
+#include "sim/experiment.hh"
 
 using namespace constable;
-using namespace constable::bench;
 
 int
-main()
+main(int argc, char** argv)
 {
-    auto suite = prepareSuite();
-    auto base = runAll(suite, [](const Workload&) { return baselineMech(); });
-    auto cons = runAll(suite,
-                       [](const Workload&) { return constableMech(); });
+    auto opts = ExperimentOptions::fromArgs(argc, argv);
+    Suite suite = Suite::prepare(opts);
+    auto res = Experiment("fig18", suite, opts)
+                   .add("baseline", baselineMech())
+                   .add("constable", constableMech())
+                   .run();
 
     std::vector<double> rs, l1d;
     for (size_t i = 0; i < suite.size(); ++i) {
-        rs.push_back(1.0 - ratio(cons[i].stats.get("rs.allocs"),
-                                 base[i].stats.get("rs.allocs")));
-        double cl = cons[i].stats.get("mem.l1d.reads") +
-                    cons[i].stats.get("mem.l1d.writes");
-        double bl = base[i].stats.get("mem.l1d.reads") +
-                    base[i].stats.get("mem.l1d.writes");
+        const StatSet& c = res.at(i, "constable").stats;
+        const StatSet& b = res.at(i, "baseline").stats;
+        rs.push_back(1.0 - ratio(c.get("rs.allocs"), b.get("rs.allocs")));
+        double cl = c.get("mem.l1d.reads") + c.get("mem.l1d.writes");
+        double bl = b.get("mem.l1d.reads") + b.get("mem.l1d.writes");
         l1d.push_back(1.0 - ratio(cl, bl));
     }
-    printCategoryBoxWhisker(
-        "Fig 18(a): RS allocation reduction (paper avg: 8.8%)", suite, rs);
+    res.printBoxWhisker(
+        "Fig 18(a): RS allocation reduction (paper avg: 8.8%)", rs);
     std::printf("\n");
-    printCategoryBoxWhisker(
-        "Fig 18(b): L1D access reduction (paper avg: 26.0%)", suite, l1d);
+    res.printBoxWhisker(
+        "Fig 18(b): L1D access reduction (paper avg: 26.0%)", l1d);
     return 0;
 }

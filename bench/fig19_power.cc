@@ -6,32 +6,34 @@
  * -0.2%); RS sub-unit -5.1%; L1D sub-unit -9.1%.
  */
 
-#include "bench/common.hh"
+#include <cstdio>
+
 #include "power/power.hh"
+#include "sim/experiment.hh"
 
 using namespace constable;
-using namespace constable::bench;
 
 int
-main()
+main(int argc, char** argv)
 {
-    auto suite = prepareSuite();
-    auto base = runAll(suite, [](const Workload&) { return baselineMech(); });
-    auto eves = runAll(suite, [](const Workload&) { return evesMech(); });
-    auto cons = runAll(suite,
-                       [](const Workload&) { return constableMech(); });
-    auto both = runAll(
-        suite, [](const Workload&) { return evesPlusConstableMech(); });
+    auto opts = ExperimentOptions::fromArgs(argc, argv);
+    Suite suite = Suite::prepare(opts);
+    auto res = Experiment("fig19", suite, opts)
+                   .add("baseline", baselineMech())
+                   .add("eves", evesMech())
+                   .add("constable", constableMech())
+                   .add("eves+const", evesPlusConstableMech())
+                   .run();
 
     struct Agg
     {
         double total = 0, rs = 0, rat = 0, rob = 0, l1d = 0, dtlb = 0,
                fe = 0, eu = 0;
     };
-    auto aggregate = [&](const std::vector<RunResult>& rs) {
+    auto aggregate = [&](const std::string& cfg) {
         Agg a;
-        for (const auto& r : rs) {
-            PowerBreakdown b = computePower(r.stats);
+        for (size_t i = 0; i < suite.size(); ++i) {
+            PowerBreakdown b = computePower(res.at(i, cfg).stats);
             a.total += b.total();
             a.rs += b.oooRs;
             a.rat += b.oooRat;
@@ -44,8 +46,8 @@ main()
         return a;
     };
 
-    Agg ab = aggregate(base), ae = aggregate(eves), ac = aggregate(cons),
-        a2 = aggregate(both);
+    Agg ab = aggregate("baseline"), ae = aggregate("eves"),
+        ac = aggregate("constable"), a2 = aggregate("eves+const");
 
     auto row = [&](const char* name, const Agg& a) {
         std::printf("%-12s%10.4f%10.4f%10.4f%10.4f%10.4f%10.4f\n", name,

@@ -5,52 +5,61 @@
  * scaling 1..4x. Paper reference: Constable with 3 load units matches a
  * baseline with one extra unit; Constable keeps adding ~3.4-5% at every
  * scaling point.
+ *
+ * Each sweep is one Experiment whose config names encode the swept value
+ * (base-w4, const-d2, ...), so the whole sensitivity study is a single
+ * checkpointable matrix per sweep.
  */
 
-#include "bench/common.hh"
+#include <cstdio>
+#include <string>
+
+#include "sim/experiment.hh"
 
 using namespace constable;
-using namespace constable::bench;
 
 int
-main()
+main(int argc, char** argv)
 {
-    auto suite = prepareSuite(false);
+    auto opts = ExperimentOptions::fromArgs(argc, argv);
+    Suite suite = Suite::prepare(opts, /*inspect=*/false);
+
+    Experiment width("fig20a-width", suite, opts);
+    for (unsigned w = 3; w <= 6; ++w) {
+        CoreConfig core;
+        core.loadPorts = w;
+        width.add("base-w" + std::to_string(w), baselineMech(), core);
+        width.add("const-w" + std::to_string(w), constableMech(), core);
+    }
+    auto wres = width.run();
 
     std::printf("Fig 20(a): load execution width sweep "
                 "(speedup over width-3 baseline)\n");
     std::printf("%8s%12s%12s\n", "width", "baseline", "constable");
-    std::vector<RunResult> ref;
-    for (unsigned width = 3; width <= 6; ++width) {
-        CoreConfig core;
-        core.loadPorts = width;
-        auto b = runAll(suite, [](const Workload&) { return baselineMech(); },
-                        core, false);
-        auto c = runAll(suite,
-                        [](const Workload&) { return constableMech(); },
-                        core, false);
-        if (width == 3)
-            ref = b;
-        std::printf("%8u%12.4f%12.4f\n", width,
-                    geomean(speedups(b, ref)), geomean(speedups(c, ref)));
+    for (unsigned w = 3; w <= 6; ++w) {
+        std::string ws = std::to_string(w);
+        std::printf("%8u%12.4f%12.4f\n", w,
+                    geomean(wres.speedups("base-w" + ws, "base-w3")),
+                    geomean(wres.speedups("const-w" + ws, "base-w3")));
     }
+
+    Experiment depth("fig20b-depth", suite, opts);
+    for (unsigned d = 1; d <= 4; ++d) {
+        CoreConfig core;
+        core.depthScale = static_cast<double>(d);
+        depth.add("base-d" + std::to_string(d), baselineMech(), core);
+        depth.add("const-d" + std::to_string(d), constableMech(), core);
+    }
+    auto dres = depth.run();
 
     std::printf("\nFig 20(b): pipeline depth sweep "
                 "(speedup over 1x baseline)\n");
     std::printf("%8s%12s%12s\n", "scale", "baseline", "constable");
-    ref.clear();
-    for (unsigned scale = 1; scale <= 4; ++scale) {
-        CoreConfig core;
-        core.depthScale = static_cast<double>(scale);
-        auto b = runAll(suite, [](const Workload&) { return baselineMech(); },
-                        core, false);
-        auto c = runAll(suite,
-                        [](const Workload&) { return constableMech(); },
-                        core, false);
-        if (scale == 1)
-            ref = b;
-        std::printf("%8u%12.4f%12.4f\n", scale,
-                    geomean(speedups(b, ref)), geomean(speedups(c, ref)));
+    for (unsigned d = 1; d <= 4; ++d) {
+        std::string ds = std::to_string(d);
+        std::printf("%8u%12.4f%12.4f\n", d,
+                    geomean(dres.speedups("base-d" + ds, "base-d1")),
+                    geomean(dres.speedups("const-d" + ds, "base-d1")));
     }
     return 0;
 }

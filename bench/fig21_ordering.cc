@@ -6,42 +6,46 @@
  * re-executions (paper avg: +0.3%; <1% in 79/90 workloads).
  */
 
-#include "bench/common.hh"
+#include <cstdio>
+
+#include "sim/experiment.hh"
 
 using namespace constable;
-using namespace constable::bench;
 
 int
-main()
+main(int argc, char** argv)
 {
-    auto suite = prepareSuite();
-    auto base = runAll(suite, [](const Workload&) { return baselineMech(); });
-    auto cons = runAll(suite,
-                       [](const Workload&) { return constableMech(); });
+    auto opts = ExperimentOptions::fromArgs(argc, argv);
+    Suite suite = Suite::prepare(opts);
+    auto res = Experiment("fig21", suite, opts)
+                   .add("baseline", baselineMech())
+                   .add("constable", constableMech())
+                   .run();
 
     std::vector<double> viol, robInc;
     unsigned under05 = 0, under1 = 0;
     for (size_t i = 0; i < suite.size(); ++i) {
-        double v = ratio(cons[i].stats.get("ordering.elimViolations"),
-                         cons[i].stats.get("loads.eliminated"));
+        const StatSet& c = res.at(i, "constable").stats;
+        double v = ratio(c.get("ordering.elimViolations"),
+                         c.get("loads.eliminated"));
         viol.push_back(v);
         if (v < 0.005)
             ++under05;
-        double ri = ratio(cons[i].stats.get("rob.allocs"),
-                          base[i].stats.get("rob.allocs")) - 1.0;
+        double ri = ratio(c.get("rob.allocs"),
+                          res.at(i, "baseline").stats.get("rob.allocs")) -
+                    1.0;
         robInc.push_back(ri);
         if (ri < 0.01)
             ++under1;
     }
-    printCategoryBoxWhisker(
+    res.printBoxWhisker(
         "Fig 21(a): eliminated loads violating ordering "
         "(paper avg: 0.09%)",
-        suite, viol);
+        viol);
     std::printf("  workloads under 0.5%%: %u / %zu (paper: 86 / 90)\n\n",
                 under05, suite.size());
-    printCategoryBoxWhisker(
-        "Fig 21(b): ROB allocation increase (paper avg: +0.3%)", suite,
-        robInc);
+    res.printBoxWhisker(
+        "Fig 21(b): ROB allocation increase (paper avg: +0.3%)", robInc);
     std::printf("  workloads under 1%%: %u / %zu (paper: 79 / 90)\n",
                 under1, suite.size());
     return 0;

@@ -6,37 +6,42 @@
  * 23.5% vs 20.2% — CV-bit pinning is the better design point.
  */
 
-#include "bench/common.hh"
+#include <cstdio>
+
+#include "sim/experiment.hh"
 
 using namespace constable;
-using namespace constable::bench;
 
 int
-main()
+main(int argc, char** argv)
 {
-    auto suite = prepareSuite();
-    auto base = runAll(suite, [](const Workload&) { return baselineMech(); });
-    auto cons = runAll(suite,
-                       [](const Workload&) { return constableMech(); });
-    auto amtI = runAll(suite,
-                       [](const Workload&) { return constableAmtIMech(); });
+    auto opts = ExperimentOptions::fromArgs(argc, argv);
+    Suite suite = Suite::prepare(opts);
+    auto res = Experiment("fig22", suite, opts)
+                   .add("baseline", baselineMech())
+                   .add("constable", constableMech())
+                   .add("amt-i", constableAmtIMech())
+                   .run();
 
-    auto cov = [](const std::vector<RunResult>& rs) {
+    auto cov = [&](const std::string& cfg) {
         std::vector<double> out;
-        for (const auto& r : rs)
-            out.push_back(ratio(r.stats.get("loads.eliminated"),
-                                r.stats.get("loads.retired")));
+        for (size_t i = 0; i < suite.size(); ++i) {
+            const StatSet& s = res.at(i, cfg).stats;
+            out.push_back(ratio(s.get("loads.eliminated"),
+                                s.get("loads.retired")));
+        }
         return out;
     };
 
-    printCategoryGeomeans(
+    res.printGeomeans(
         "Fig 22(a): speedup, CV-bit pinning vs AMT-invalidate-on-evict "
         "(paper: 1.051 vs 1.042)",
-        suite, { speedups(cons, base), speedups(amtI, base) },
+        { res.speedups("constable", "baseline"),
+          res.speedups("amt-i", "baseline") },
         { "Constable", "Const-AMT-I" });
     std::printf("\n");
-    printCategoryMeans(
-        "Fig 22(b): elimination coverage (paper: 23.5% vs 20.2%)", suite,
-        { cov(cons), cov(amtI) }, { "Constable", "Const-AMT-I" });
+    res.printMeans(
+        "Fig 22(b): elimination coverage (paper: 23.5% vs 20.2%)",
+        { cov("constable"), cov("amt-i") }, { "Constable", "Const-AMT-I" });
     return 0;
 }

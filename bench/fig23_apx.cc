@@ -8,67 +8,59 @@
  * stack-relative share of global-stable loads drops (21.1% -> 16%) while
  * the PC-relative share is unchanged — compile-time register allocation
  * and Constable are largely orthogonal.
+ *
+ * Pure offline study: both register-width variants go through
+ * Suite::fromSpecs, which generates (or cache-loads) and inspects every
+ * trace on the batch pool.
  */
 
-#include "bench/common.hh"
+#include <cstdio>
+
+#include "sim/experiment.hh"
 
 using namespace constable;
-using namespace constable::bench;
 
 int
-main()
+main(int argc, char** argv)
 {
-    auto specs = paperSuite(defaultTraceOps());
+    auto opts = ExperimentOptions::fromArgs(argc, argv);
+
+    auto specs = paperSuite(opts.traceOps);
     std::vector<WorkloadSpec> spec16;
     for (const auto& s : specs) {
         if (s.category == "FSPEC17" || s.category == "ISPEC17")
             spec16.push_back(s);
     }
-    if (spec16.size() > suiteLimit())
-        spec16.resize(suiteLimit());
+    if (spec16.size() > opts.suiteLimit)
+        spec16.resize(opts.suiteLimit);
+    std::vector<WorkloadSpec> spec32 = spec16;
+    for (auto& s : spec32) {
+        s.name += "/apx";
+        s.numArchRegs = 32;
+    }
 
-    struct Row
-    {
-        double loadReduction = 0;
-        double gsFrac16 = 0, gsFrac32 = 0;
-        double stackShare16 = 0, stackShare32 = 0;
-        double pcShare16 = 0, pcShare32 = 0;
-    };
-    std::vector<Row> rows(spec16.size());
-    parallelFor(spec16.size(), [&](size_t i) {
-        WorkloadSpec s16 = spec16[i];
-        WorkloadSpec s32 = spec16[i];
-        s32.numArchRegs = 32;
-        Trace t16 = generateTrace(s16);
-        Trace t32 = generateTrace(s32);
-        auto i16 = inspectLoads(t16);
-        auto i32 = inspectLoads(t32);
+    Suite s16 = Suite::fromSpecs(std::move(spec16), opts);
+    Suite s32 = Suite::fromSpecs(std::move(spec32), opts);
+
+    double lr = 0, g16 = 0, g32 = 0, st16 = 0, st32 = 0, p16 = 0, p32 = 0;
+    for (size_t i = 0; i < s16.size(); ++i) {
+        const auto& i16 = s16.inspection(i);
+        const auto& i32 = s32.inspection(i);
         double l16 = static_cast<double>(i16.dynLoads) /
                      static_cast<double>(i16.dynOps);
         double l32 = static_cast<double>(i32.dynLoads) /
                      static_cast<double>(i32.dynOps);
-        rows[i].loadReduction = 1.0 - l32 / l16;
-        rows[i].gsFrac16 = i16.globalStableFrac();
-        rows[i].gsFrac32 = i32.globalStableFrac();
-        rows[i].stackShare16 = i16.modeFrac(AddrMode::StackRel);
-        rows[i].stackShare32 = i32.modeFrac(AddrMode::StackRel);
-        rows[i].pcShare16 = i16.modeFrac(AddrMode::PcRel);
-        rows[i].pcShare32 = i32.modeFrac(AddrMode::PcRel);
-    });
-
-    double lr = 0, g16 = 0, g32 = 0, s16 = 0, s32 = 0, p16 = 0, p32 = 0;
-    for (const auto& r : rows) {
-        lr += r.loadReduction;
-        g16 += r.gsFrac16;
-        g32 += r.gsFrac32;
-        s16 += r.stackShare16;
-        s32 += r.stackShare32;
-        p16 += r.pcShare16;
-        p32 += r.pcShare32;
+        lr += 1.0 - l32 / l16;
+        g16 += i16.globalStableFrac();
+        g32 += i32.globalStableFrac();
+        st16 += i16.modeFrac(AddrMode::StackRel);
+        st32 += i32.modeFrac(AddrMode::StackRel);
+        p16 += i16.modeFrac(AddrMode::PcRel);
+        p32 += i32.modeFrac(AddrMode::PcRel);
     }
-    double n = static_cast<double>(rows.size());
+    double n = static_cast<double>(s16.size());
     std::printf("Fig 23: APX (32 architectural registers) study over "
-                "%zu SPEC-like traces\n", rows.size());
+                "%zu SPEC-like traces\n", s16.size());
     std::printf("  dynamic-load reduction with APX: %.1f%% "
                 "(paper: 11.7%%)\n", 100.0 * lr / n);
     std::printf("  global-stable fraction: %.1f%% (16 regs) vs %.1f%% "
@@ -77,7 +69,7 @@ main()
     std::printf("\nFig 24: global-stable addressing-mode shares\n");
     std::printf("  stack-relative: %.1f%% -> %.1f%% with APX "
                 "(paper: 21.1%% -> 16%%)\n",
-                100.0 * s16 / n, 100.0 * s32 / n);
+                100.0 * st16 / n, 100.0 * st32 / n);
     std::printf("  PC-relative:    %.1f%% -> %.1f%% with APX "
                 "(paper: 38.3%% -> 38.9%%)\n",
                 100.0 * p16 / n, 100.0 * p32 / n);

@@ -5,13 +5,13 @@
  * micro-traces — 541.leela_r's runtime-constant `s_rng` pointer and
  * 557.xz_r's inlined `rc_shift_low` argument reloads — runs the Load
  * Inspector on them, and shows Constable eliminating what the compiler at
- * -O3 could not.
+ * -O3 could not. Hand-built traces enter the Experiment API through
+ * Suite::fromTraces.
  */
 
 #include <cstdio>
 
-#include "inspector/load_inspector.hh"
-#include "sim/runner.hh"
+#include "sim/experiment.hh"
 #include "trace/builder.hh"
 
 using namespace constable;
@@ -46,8 +46,10 @@ emitRcShiftLow(ProgramBuilder& b, Addr frame, uint64_t& out_pos)
 } // namespace
 
 int
-main()
+main(int argc, char** argv)
 {
+    auto opts = ExperimentOptions::fromArgs(argc, argv);
+
     ProgramBuilder b(1234, 16);
     Addr s_rng = 0x626ef0;
     b.mem().write(s_rng, 0x7f3210008000ull, 8); // initialized once
@@ -63,11 +65,14 @@ main()
         for (int j = 0; j < 4; ++j)
             b.alu(0x500000 + 4 * j, b.scratch(j), b.scratch(j + 1));
     }
-    Trace t = b.finish("compiler_limits", "Example");
 
-    LoadInspectorResult insp = inspectLoads(t);
+    std::vector<Trace> traces;
+    traces.push_back(b.finish("compiler_limits", "Example"));
+    Suite suite = Suite::fromTraces(std::move(traces));
+
+    const LoadInspectorResult& insp = suite.inspection(0);
     std::printf("micro-trace from the paper's two -O3 disassembly case "
-                "studies: %zu ops\n", t.size());
+                "studies: %zu ops\n", suite.trace(0).size());
     std::printf("global-stable loads: %.1f%% of dynamic loads\n",
                 100.0 * insp.globalStableFrac());
     std::printf("  PC-relative   (leela s_rng)      : %.1f%%\n",
@@ -75,11 +80,16 @@ main()
     std::printf("  stack-relative (xz rc_shift_low) : %.1f%%\n",
                 100.0 * insp.modeFrac(AddrMode::StackRel));
 
-    RunResult base = runTrace(t, { CoreConfig{}, baselineMech() });
-    RunResult cons = runTrace(t, { CoreConfig{}, constableMech() });
+    auto res = Experiment("compiler_limits", suite, opts)
+                   .add("baseline", baselineMech())
+                   .add("constable", constableMech())
+                   .run();
+    const RunResult& base = res.at(0, "baseline");
+    const RunResult& cons = res.at(0, "constable");
     std::printf("\nbaseline IPC %.2f -> Constable IPC %.2f "
                 "(speedup %.3fx)\n",
-                base.ipc(), cons.ipc(), speedup(cons, base));
+                base.ipc(), cons.ipc(),
+                res.speedups("constable", "baseline")[0]);
     std::printf("Constable eliminated %.1f%% of the loads the compiler "
                 "could not remove\n",
                 100.0 * cons.stats.get("loads.eliminated") /

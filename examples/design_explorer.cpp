@@ -5,55 +5,80 @@
  * workload. Shows the coverage/safety trade-off the paper's threshold of
  * 30 sits on: lower thresholds eliminate more but violate ordering more
  * often; smaller SLDs lose coverage.
+ *
+ * The whole exploration is one Experiment whose config names encode the
+ * swept knob value, so --checkpoint-dir resumes an interrupted sweep and
+ * --threads controls the fan-out.
  */
 
 #include <cstdio>
+#include <string>
 
-#include "sim/runner.hh"
-#include "workloads/suite.hh"
+#include "sim/experiment.hh"
 
 using namespace constable;
 
 int
-main()
+main(int argc, char** argv)
 {
-    WorkloadSpec spec = smokeSuite(60'000)[1]; // Enterprise-class
-    Trace t = generateTrace(spec);
-    RunResult base = runTrace(t, { CoreConfig{}, baselineMech() });
+    auto opts = ExperimentOptions::fromArgs(argc, argv);
 
-    std::printf("workload %s, baseline IPC %.2f\n\n", t.name.c_str(),
-                base.ipc());
+    WorkloadSpec spec = smokeSuite(60'000)[1]; // Enterprise-class
+    Suite suite = Suite::fromSpecs({ spec }, opts);
+
+    const unsigned thresholds[] = { 2, 8, 15, 30 };
+    const unsigned sldSets[] = { 4, 8, 16, 32 };
+    const unsigned xprfSizes[] = { 4, 8, 16, 32, 64 };
+
+    Experiment exp("design_explorer", suite, opts);
+    exp.add("baseline", baselineMech());
+    for (unsigned thr : thresholds) {
+        MechanismConfig m = constableMech();
+        m.constable.sld.confThreshold = static_cast<uint8_t>(thr);
+        exp.add("thr-" + std::to_string(thr), m);
+    }
+    for (unsigned sets : sldSets) {
+        MechanismConfig m = constableMech();
+        m.constable.sld.sets = sets;
+        exp.add("sld-" + std::to_string(sets), m);
+    }
+    for (unsigned xprf : xprfSizes) {
+        MechanismConfig m = constableMech();
+        m.constable.xprfEntries = xprf;
+        exp.add("xprf-" + std::to_string(xprf), m);
+    }
+    auto res = exp.run();
+
+    const RunResult& base = res.at(0, "baseline");
+    std::printf("workload %s, baseline IPC %.2f\n\n",
+                suite.trace(0).name.c_str(), base.ipc());
+
+    auto elimPct = [&](const RunResult& r) {
+        return 100.0 * r.stats.get("loads.eliminated") /
+               r.stats.get("loads.retired");
+    };
 
     std::printf("confidence-threshold sweep (paper uses 30):\n");
     std::printf("%10s%12s%12s%14s\n", "threshold", "speedup", "elim %",
                 "violations");
-    for (unsigned thr : { 2u, 8u, 15u, 30u }) {
-        MechanismConfig m = constableMech();
-        m.constable.sld.confThreshold = static_cast<uint8_t>(thr);
-        RunResult r = runTrace(t, { CoreConfig{}, m });
+    for (unsigned thr : thresholds) {
+        const RunResult& r = res.at(0, "thr-" + std::to_string(thr));
         std::printf("%10u%12.4f%11.1f%%%14.0f\n", thr, speedup(r, base),
-                    100.0 * r.stats.get("loads.eliminated") /
-                        r.stats.get("loads.retired"),
-                    r.stats.get("ordering.elimViolations"));
+                    elimPct(r), r.stats.get("ordering.elimViolations"));
     }
 
     std::printf("\nSLD capacity sweep (paper: 512 entries):\n");
     std::printf("%10s%12s%12s\n", "entries", "speedup", "elim %");
-    for (unsigned sets : { 4u, 8u, 16u, 32u }) {
-        MechanismConfig m = constableMech();
-        m.constable.sld.sets = sets;
-        RunResult r = runTrace(t, { CoreConfig{}, m });
+    for (unsigned sets : sldSets) {
+        const RunResult& r = res.at(0, "sld-" + std::to_string(sets));
         std::printf("%10u%12.4f%11.1f%%\n", sets * 16, speedup(r, base),
-                    100.0 * r.stats.get("loads.eliminated") /
-                        r.stats.get("loads.retired"));
+                    elimPct(r));
     }
 
     std::printf("\nxPRF size sweep (paper: 32 entries, 0.2%% rejects):\n");
     std::printf("%10s%12s%14s\n", "entries", "speedup", "rejects");
-    for (unsigned xprf : { 4u, 8u, 16u, 32u, 64u }) {
-        MechanismConfig m = constableMech();
-        m.constable.xprfEntries = xprf;
-        RunResult r = runTrace(t, { CoreConfig{}, m });
+    for (unsigned xprf : xprfSizes) {
+        const RunResult& r = res.at(0, "xprf-" + std::to_string(xprf));
         std::printf("%10u%12.4f%14.0f\n", xprf, speedup(r, base),
                     r.stats.get("constable.xprfRejected"));
     }

@@ -1,46 +1,49 @@
 /**
  * @file
- * Quickstart: generate a synthetic workload, inspect its global-stable
- * loads, run the baseline and Constable configurations, and print the
- * headline numbers the paper reports (speedup, elimination coverage,
- * RS-allocation and L1D-access reductions).
+ * Quickstart: build a one-workload Suite, run the baseline and Constable
+ * configurations through the Experiment API, and print the headline
+ * numbers the paper reports (speedup, elimination coverage, RS-allocation
+ * and L1D-access reductions). Pass --trace-dir=DIR to see the trace cache
+ * in action: the second invocation loads the trace instead of
+ * regenerating it.
  */
 
 #include <cstdio>
 
-#include "inspector/load_inspector.hh"
-#include "sim/runner.hh"
-#include "workloads/suite.hh"
+#include "sim/experiment.hh"
 
 using namespace constable;
 
 int
-main()
+main(int argc, char** argv)
 {
-    // 1. Pick a workload spec and generate its trace (deterministic).
+    auto opts = ExperimentOptions::fromArgs(argc, argv);
+
+    // 1. Pick a workload spec; the Suite generates (or cache-loads) its
+    //    trace and runs the offline global-stable load inspection.
     WorkloadSpec spec = smokeSuite(60'000).front();
     spec.name = "quickstart/client";
-    Trace trace = generateTrace(spec);
-    std::printf("workload %-22s %zu micro-ops, %zu loads\n",
-                trace.name.c_str(), trace.size(),
-                trace.countClass(OpClass::Load));
-
-    // 2. Offline analysis: which loads are global-stable?
-    LoadInspectorResult insp = inspectLoads(trace);
+    Suite suite = Suite::fromSpecs({ spec }, opts);
+    std::printf("workload %-22s %zu micro-ops, %zu loads%s\n",
+                suite.trace(0).name.c_str(), suite.trace(0).size(),
+                suite.trace(0).countClass(OpClass::Load),
+                suite.cacheHits() ? " (loaded from trace cache)" : "");
     std::printf("global-stable loads: %.1f%% of dynamic loads\n",
-                100.0 * insp.globalStableFrac());
+                100.0 * suite.inspection(0).globalStableFrac());
 
-    // 3. Run the baseline (MRN + folding optimizations) and Constable.
-    SystemConfig base { CoreConfig{}, baselineMech() };
-    SystemConfig cons { CoreConfig{}, constableMech() };
-    RunResult rb = runTrace(trace, base);
-    RunResult rc = runTrace(trace, cons);
+    // 2. Run named configurations as one experiment.
+    auto res = Experiment("quickstart", suite, opts)
+                   .add("baseline", baselineMech())
+                   .add("constable", constableMech())
+                   .run();
 
+    const RunResult& rb = res.at(0, "baseline");
+    const RunResult& rc = res.at(0, "constable");
     std::printf("baseline : %8llu cycles, IPC %.3f\n",
                 static_cast<unsigned long long>(rb.cycles), rb.ipc());
     std::printf("constable: %8llu cycles, IPC %.3f  (speedup %.3fx)\n",
                 static_cast<unsigned long long>(rc.cycles), rc.ipc(),
-                speedup(rc, rb));
+                res.speedups("constable", "baseline")[0]);
     std::printf("eliminated loads: %.1f%% of retired loads\n",
                 100.0 * rc.stats.get("loads.eliminated") /
                     rc.stats.get("loads.retired"));

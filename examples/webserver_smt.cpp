@@ -5,57 +5,63 @@
  * paper reports Constable's largest wins (8.8% vs EVES' 3.6%), because
  * load execution resources are contended between hardware threads and
  * eliminating load execution frees them outright.
+ *
+ * One Suite feeds two matrices of the same Experiment shape: runSmt() for
+ * the co-run and run() for the serial per-workload reference.
  */
 
 #include <cstdio>
 
-#include "sim/runner.hh"
-#include "workloads/suite.hh"
+#include "sim/experiment.hh"
 
 using namespace constable;
 
 int
-main()
+main(int argc, char** argv)
 {
+    auto opts = ExperimentOptions::fromArgs(argc, argv);
+
     // Two server workloads: a key-value front end and a log-ingest worker.
-    auto suite = paperSuite(50'000);
-    const WorkloadSpec* kv = nullptr;
-    const WorkloadSpec* log = nullptr;
-    for (const auto& s : suite) {
-        if (s.name == "Server/server_kv_store")
-            kv = &s;
-        if (s.name == "Server/server_log_ingest")
-            log = &s;
+    auto all = paperSuite(50'000);
+    std::vector<WorkloadSpec> specs;
+    for (const auto& s : all) {
+        if (s.name == "Server/server_kv_store" ||
+            s.name == "Server/server_log_ingest")
+            specs.push_back(s);
     }
-    if (!kv || !log) {
+    if (specs.size() != 2) {
         std::fprintf(stderr, "suite layout changed\n");
         return 1;
     }
-    Trace a = generateTrace(*kv);
-    Trace b = generateTrace(*log);
+    Suite suite = Suite::fromSpecs(specs, opts, /*inspect=*/false);
     std::printf("co-scheduling %s + %s on one SMT2 core\n",
-                a.name.c_str(), b.name.c_str());
+                suite.trace(0).name.c_str(), suite.trace(1).name.c_str());
 
-    SystemConfig base { CoreConfig{}, baselineMech() };
-    RunResult rb = runSmtPair(a, b, base);
-    RunResult re = runSmtPair(a, b, { CoreConfig{}, evesMech() });
-    RunResult rc = runSmtPair(a, b, { CoreConfig{}, constableMech() });
-    RunResult r2 = runSmtPair(a, b,
-                              { CoreConfig{}, evesPlusConstableMech() });
+    Experiment exp("webserver_smt", suite, opts);
+    exp.add("baseline", baselineMech())
+        .add("eves", evesMech())
+        .add("constable", constableMech())
+        .add("eves+const", evesPlusConstableMech());
+    auto smt = exp.runSmt();    // one row: the (kv, log) pair
+    auto serial = exp.run();    // two rows: each workload alone
 
+    const RunResult& rb = smt.at(0, "baseline");
+    const RunResult& rc = smt.at(0, "constable");
     std::printf("  baseline      : %8llu cycles (aggregate IPC %.2f)\n",
                 static_cast<unsigned long long>(rb.cycles), rb.ipc());
-    std::printf("  EVES          : speedup %.3fx\n", speedup(re, rb));
+    std::printf("  EVES          : speedup %.3fx\n",
+                smt.speedups("eves", "baseline")[0]);
     std::printf("  Constable     : speedup %.3fx "
                 "(%.1f%% of loads eliminated)\n",
-                speedup(rc, rb),
+                smt.speedups("constable", "baseline")[0],
                 100.0 * rc.stats.get("loads.eliminated") /
                     rc.stats.get("loads.retired"));
-    std::printf("  EVES+Constable: speedup %.3fx\n", speedup(r2, rb));
+    std::printf("  EVES+Constable: speedup %.3fx\n",
+                smt.speedups("eves+const", "baseline")[0]);
 
     // Contrast with the same pair run back to back without SMT.
-    RunResult sa = runTrace(a, base);
-    RunResult sb = runTrace(b, base);
+    const RunResult& sa = serial.at(0, "baseline");
+    const RunResult& sb = serial.at(1, "baseline");
     std::printf("SMT throughput gain over serial execution: %.2fx\n",
                 static_cast<double>(sa.cycles + sb.cycles) /
                     static_cast<double>(rb.cycles));

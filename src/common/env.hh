@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Strict parsing for CONSTABLE_* environment variables. Every knob goes
+ * through these helpers so a typo (CONSTABLE_THREADS=abc, a stray trailing
+ * character, an out-of-range value) terminates with a clear message instead
+ * of silently becoming 0 and running the sweep with the wrong setting.
+ */
+
+#ifndef CONSTABLE_COMMON_ENV_HH
+#define CONSTABLE_COMMON_ENV_HH
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <optional>
+#include <string>
+
+#include "common/logging.hh"
+
+namespace constable {
+
+/**
+ * Parse a non-negative integer (decimal, or 0x-prefixed hex) from a named
+ * source. fatal()s on empty strings, trailing junk, signs, or overflow.
+ */
+inline uint64_t
+parseU64Strict(const std::string& what, const std::string& value)
+{
+    size_t start = 0;
+    while (start < value.size() &&
+           std::isspace(static_cast<unsigned char>(value[start])))
+        ++start;
+    if (start == value.size() || value[start] == '-' || value[start] == '+')
+        fatal(what + " must be a non-negative integer, got '" + value + "'");
+    errno = 0;
+    char* end = nullptr;
+    unsigned long long v = std::strtoull(value.c_str() + start, &end, 0);
+    if (end == value.c_str() + start || *end != '\0' || errno == ERANGE) {
+        fatal(what + " must be a non-negative integer, got '" + value +
+              "'");
+    }
+    return static_cast<uint64_t>(v);
+}
+
+/** Read an integer env var. Unset -> nullopt; malformed -> fatal(). */
+inline std::optional<uint64_t>
+envU64(const char* name)
+{
+    const char* v = std::getenv(name);
+    if (!v)
+        return std::nullopt;
+    return parseU64Strict(name, v);
+}
+
+/** Read a string env var (empty counts as unset). */
+inline std::optional<std::string>
+envStr(const char* name)
+{
+    const char* v = std::getenv(name);
+    if (!v || *v == '\0')
+        return std::nullopt;
+    return std::string(v);
+}
+
+} // namespace constable
+
+#endif

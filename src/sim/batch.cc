@@ -1,8 +1,8 @@
 #include "sim/batch.hh"
 
 #include <algorithm>
-#include <cstdlib>
 
+#include "common/env.hh"
 #include "common/logging.hh"
 
 namespace constable {
@@ -201,13 +201,12 @@ BatchOptions
 batchOptionsFromEnv()
 {
     BatchOptions opts;
-    if (const char* env = std::getenv("CONSTABLE_THREADS")) {
-        long v = std::atol(env);
-        if (v >= 0)
-            opts.threads = static_cast<unsigned>(v);
+    if (auto v = envU64("CONSTABLE_THREADS")) {
+        opts.threads = static_cast<unsigned>(
+            std::min<uint64_t>(*v, ThreadPool::kMaxConcurrency));
     }
-    if (const char* env = std::getenv("CONSTABLE_SEED"))
-        opts.seed = std::strtoull(env, nullptr, 0);
+    if (auto v = envU64("CONSTABLE_SEED"))
+        opts.seed = *v;
     return opts;
 }
 

@@ -1,0 +1,495 @@
+#include "sim/experiment.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <map>
+#include <system_error>
+
+#include "common/env.hh"
+#include "common/logging.hh"
+#include "common/stats.hh"
+#include "trace/serialize.hh"
+
+namespace constable {
+
+namespace {
+
+/** boost-style hash_combine over 64-bit values. */
+uint64_t
+hashCombine(uint64_t h, uint64_t v)
+{
+    return h ^ (v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2));
+}
+
+std::string
+hex16(uint64_t v)
+{
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(v));
+    return buf;
+}
+
+void
+makeDirs(const std::string& dir, const char* what)
+{
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    if (ec)
+        fatal(std::string(what) + " directory '" + dir +
+              "' cannot be created: " + ec.message());
+}
+
+[[noreturn]] void
+printUsage(const char* prog, int exit_code)
+{
+    std::FILE* out = exit_code == 0 ? stdout : stderr;
+    std::fprintf(out,
+        "usage: %s [options]\n"
+        "  --threads=N         batch threads (0 = all cores, 1 = serial)\n"
+        "  --seed=N            master seed for per-job RNG streams\n"
+        "  --trace-ops=N       dynamic micro-ops per generated trace\n"
+        "  --suite-limit=N     truncate the suite to its first N traces\n"
+        "  --trace-dir=PATH    on-disk trace cache (generate once, then "
+        "load)\n"
+        "  --checkpoint-dir=PATH  per-cell checkpoints; interrupted sweeps "
+        "resume\n"
+        "  --help              this text\n"
+        "Environment: CONSTABLE_THREADS, CONSTABLE_SEED, "
+        "CONSTABLE_TRACE_OPS,\nCONSTABLE_SUITE_LIMIT, CONSTABLE_TRACE_DIR, "
+        "CONSTABLE_CHECKPOINT_DIR\n(strict-parsed; CLI flags override "
+        "env).\n",
+        prog);
+    std::exit(exit_code);
+}
+
+} // namespace
+
+// -------------------------------------------------------- ExperimentOptions
+
+ExperimentOptions
+ExperimentOptions::fromEnv()
+{
+    ExperimentOptions opts;
+    if (auto v = envU64("CONSTABLE_THREADS")) {
+        opts.threads = static_cast<unsigned>(
+            std::min<uint64_t>(*v, ThreadPool::kMaxConcurrency));
+    }
+    if (auto v = envU64("CONSTABLE_SEED"))
+        opts.seed = *v;
+    opts.traceOps = defaultTraceOps(); // strict-parses CONSTABLE_TRACE_OPS
+    if (auto v = envU64("CONSTABLE_SUITE_LIMIT")) {
+        if (*v == 0)
+            fatal("CONSTABLE_SUITE_LIMIT must be >= 1");
+        opts.suiteLimit = static_cast<size_t>(*v);
+    }
+    if (auto v = envStr("CONSTABLE_TRACE_DIR"))
+        opts.traceDir = *v;
+    if (auto v = envStr("CONSTABLE_CHECKPOINT_DIR"))
+        opts.checkpointDir = *v;
+    return opts;
+}
+
+ExperimentOptions
+ExperimentOptions::fromArgs(int argc, char** argv)
+{
+    ExperimentOptions opts = fromEnv();
+    const char* prog = argc > 0 ? argv[0] : "bench";
+
+    auto next = [&](int& i, const std::string& flag) -> std::string {
+        if (i + 1 >= argc)
+            fatal(flag + " requires a value (see --help)");
+        return argv[++i];
+    };
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        std::string flag = arg, value;
+        bool inlineValue = false;
+        if (auto eq = arg.find('='); eq != std::string::npos) {
+            flag = arg.substr(0, eq);
+            value = arg.substr(eq + 1);
+            inlineValue = true;
+        }
+        auto val = [&]() {
+            return inlineValue ? value : next(i, flag);
+        };
+        if (flag == "--help" || flag == "-h") {
+            printUsage(prog, 0);
+        } else if (flag == "--threads") {
+            opts.threads = static_cast<unsigned>(
+                std::min<uint64_t>(parseU64Strict(flag, val()),
+                                   ThreadPool::kMaxConcurrency));
+        } else if (flag == "--seed") {
+            opts.seed = parseU64Strict(flag, val());
+        } else if (flag == "--trace-ops") {
+            uint64_t v = parseU64Strict(flag, val());
+            if (v == 0)
+                fatal("--trace-ops must be >= 1");
+            opts.traceOps = static_cast<size_t>(v);
+        } else if (flag == "--suite-limit") {
+            uint64_t v = parseU64Strict(flag, val());
+            if (v == 0)
+                fatal("--suite-limit must be >= 1");
+            opts.suiteLimit = static_cast<size_t>(v);
+        } else if (flag == "--trace-dir") {
+            opts.traceDir = val();
+        } else if (flag == "--checkpoint-dir") {
+            opts.checkpointDir = val();
+        } else {
+            std::fprintf(stderr, "unknown argument '%s'\n", arg.c_str());
+            printUsage(prog, 1);
+        }
+    }
+    return opts;
+}
+
+BatchOptions
+ExperimentOptions::batch() const
+{
+    BatchOptions b;
+    b.threads = threads;
+    b.seed = seed;
+    return b;
+}
+
+// ---------------------------------------------------------------- Suite
+
+Suite
+Suite::prepare(const ExperimentOptions& opts, bool inspect)
+{
+    auto specs = paperSuite(opts.traceOps);
+    if (specs.size() > opts.suiteLimit)
+        specs.resize(opts.suiteLimit);
+    return fromSpecs(std::move(specs), opts, inspect);
+}
+
+Suite
+Suite::fromSpecs(std::vector<WorkloadSpec> specs,
+                 const ExperimentOptions& opts, bool inspect)
+{
+    Suite s;
+    s.inspected_ = inspect;
+    s.entries_.resize(specs.size());
+    const std::string& dir = opts.traceDir;
+    if (!dir.empty())
+        makeDirs(dir, "trace cache");
+    forEachJob(specs.size(), [&](size_t i, Rng&) {
+        Entry& e = s.entries_[i];
+        e.spec = std::move(specs[i]);
+        if (!dir.empty()) {
+            std::string path = traceCachePath(dir, e.spec);
+            e.fromCache = loadTrace(path, e.trace);
+            if (!e.fromCache) {
+                // Missing, corrupt or stale-format: regenerate and refresh
+                // the cache entry (atomic write, safe under concurrency).
+                e.trace = generateTrace(e.spec);
+                saveTrace(path, e.trace);
+            }
+        } else {
+            e.trace = generateTrace(e.spec);
+        }
+        e.key = specHash(e.spec);
+        if (inspect) {
+            e.inspection = inspectLoads(e.trace);
+            e.gs = e.inspection.globalStablePcs();
+        }
+    }, opts.batch());
+    for (const Entry& e : s.entries_)
+        (e.fromCache ? s.cacheHits_ : s.cacheMisses_)++;
+    return s;
+}
+
+Suite
+Suite::fromTraces(std::vector<Trace> traces, bool inspect)
+{
+    Suite s;
+    s.inspected_ = inspect;
+    s.entries_.resize(traces.size());
+    forEachJob(traces.size(), [&](size_t i, Rng&) {
+        Entry& e = s.entries_[i];
+        e.trace = std::move(traces[i]);
+        e.spec.name = e.trace.name;
+        e.spec.category = e.trace.category;
+        e.spec.numArchRegs = e.trace.numArchRegs;
+        // No generating spec exists: key checkpoints on the trace bytes
+        // themselves, so an edited hand-built trace invalidates them.
+        e.key = traceContentHash(e.trace);
+        if (inspect) {
+            e.inspection = inspectLoads(e.trace);
+            e.gs = e.inspection.globalStablePcs();
+        }
+    }, BatchOptions{});
+    return s;
+}
+
+std::vector<const Trace*>
+Suite::tracePtrs() const
+{
+    std::vector<const Trace*> out;
+    out.reserve(entries_.size());
+    for (const Entry& e : entries_)
+        out.push_back(&e.trace);
+    return out;
+}
+
+std::vector<const std::unordered_set<PC>*>
+Suite::gsPtrs() const
+{
+    std::vector<const std::unordered_set<PC>*> out;
+    if (!inspected_)
+        return out;
+    out.reserve(entries_.size());
+    for (const Entry& e : entries_)
+        out.push_back(&e.gs);
+    return out;
+}
+
+std::vector<std::pair<const Trace*, const Trace*>>
+Suite::smtTracePairs() const
+{
+    std::vector<std::pair<const Trace*, const Trace*>> out;
+    for (auto [a, b] : smtPairs(entries_.size()))
+        out.emplace_back(&entries_[a].trace, &entries_[b].trace);
+    return out;
+}
+
+uint64_t
+Suite::contentHash() const
+{
+    uint64_t h = 0x5417ab1eull;
+    for (const Entry& e : entries_)
+        h = hashCombine(h, e.key);
+    return h;
+}
+
+void
+Suite::printGeomeans(const std::string& header,
+                     const std::vector<std::vector<double>>& series,
+                     const std::vector<std::string>& series_names) const
+{
+    std::map<std::string, std::vector<size_t>> byCat;
+    for (size_t i = 0; i < entries_.size(); ++i)
+        byCat[entries_[i].spec.category].push_back(i);
+
+    std::printf("%s\n", header.c_str());
+    std::printf("%-14s", "config");
+    for (const auto& [cat, idx] : byCat)
+        std::printf("%12s", cat.c_str());
+    std::printf("%12s\n", "GEOMEAN");
+    for (size_t s = 0; s < series.size(); ++s) {
+        std::printf("%-14s", series_names[s].c_str());
+        for (const auto& [cat, idxs] : byCat) {
+            std::vector<double> vals;
+            for (size_t i : idxs)
+                vals.push_back(series[s][i]);
+            std::printf("%12.4f", geomean(vals));
+        }
+        std::printf("%12.4f\n", geomean(series[s]));
+    }
+}
+
+void
+Suite::printMeans(const std::string& header,
+                  const std::vector<std::vector<double>>& series,
+                  const std::vector<std::string>& series_names, double scale,
+                  const char* unit) const
+{
+    std::map<std::string, std::vector<size_t>> byCat;
+    for (size_t i = 0; i < entries_.size(); ++i)
+        byCat[entries_[i].spec.category].push_back(i);
+
+    std::printf("%s\n", header.c_str());
+    std::printf("%-26s", "series");
+    for (const auto& [cat, idx] : byCat)
+        std::printf("%12s", cat.c_str());
+    std::printf("%12s\n", "AVG");
+    for (size_t s = 0; s < series.size(); ++s) {
+        std::printf("%-26s", series_names[s].c_str());
+        for (const auto& [cat, idxs] : byCat) {
+            std::vector<double> vals;
+            for (size_t i : idxs)
+                vals.push_back(series[s][i]);
+            std::printf("%11.2f%s", scale * mean(vals), unit);
+        }
+        std::printf("%11.2f%s\n", scale * mean(series[s]), unit);
+    }
+}
+
+void
+Suite::printBoxWhisker(const std::string& header,
+                       const std::vector<double>& samples) const
+{
+    std::map<std::string, std::vector<double>> byCat;
+    for (size_t i = 0; i < entries_.size(); ++i)
+        byCat[entries_[i].spec.category].push_back(samples[i]);
+    std::printf("%s\n", header.c_str());
+    for (const auto& [cat, vals] : byCat) {
+        std::printf("  %-12s %s\n", cat.c_str(),
+                    BoxWhisker::from(vals).str().c_str());
+    }
+    std::printf("  %-12s %s\n", "ALL",
+                BoxWhisker::from(samples).str().c_str());
+}
+
+// ------------------------------------------------------- ExperimentResult
+
+size_t
+ExperimentResult::configIndex(const std::string& config) const
+{
+    for (size_t i = 0; i < names_.size(); ++i) {
+        if (names_[i] == config)
+            return i;
+    }
+    fatal("experiment has no configuration named '" + config + "'");
+}
+
+std::vector<double>
+ExperimentResult::speedups(const std::string& test,
+                           const std::string& base) const
+{
+    return m_.speedupsOver(configIndex(test), configIndex(base));
+}
+
+std::vector<double>
+ExperimentResult::statColumn(const std::string& config,
+                             const std::string& stat) const
+{
+    size_t cfg = configIndex(config);
+    std::vector<double> out(m_.numRows);
+    for (size_t r = 0; r < m_.numRows; ++r)
+        out[r] = m_.at(r, cfg).stats.get(stat);
+    return out;
+}
+
+void
+ExperimentResult::printGeomeans(
+    const std::string& header,
+    const std::vector<std::vector<double>>& series,
+    const std::vector<std::string>& series_names) const
+{
+    suite_->printGeomeans(header, series, series_names);
+}
+
+void
+ExperimentResult::printMeans(const std::string& header,
+                             const std::vector<std::vector<double>>& series,
+                             const std::vector<std::string>& series_names,
+                             double scale, const char* unit) const
+{
+    suite_->printMeans(header, series, series_names, scale, unit);
+}
+
+void
+ExperimentResult::printBoxWhisker(const std::string& header,
+                                  const std::vector<double>& samples) const
+{
+    suite_->printBoxWhisker(header, samples);
+}
+
+// ------------------------------------------------------------- Experiment
+
+Experiment::Experiment(std::string name, const Suite& suite,
+                       ExperimentOptions opts)
+    : name_(std::move(name)), suite_(&suite), opts_(std::move(opts))
+{}
+
+Experiment&
+Experiment::add(const std::string& config_name, MechanismConfig mech,
+                CoreConfig core)
+{
+    SystemConfig cfg { core, std::move(mech) };
+    return add(config_name, [cfg](size_t) { return cfg; });
+}
+
+Experiment&
+Experiment::add(const std::string& config_name, ConfigFactory factory)
+{
+    for (const std::string& n : names_) {
+        if (n == config_name)
+            fatal("experiment '" + name_ + "': duplicate configuration '" +
+                  config_name + "'");
+    }
+    names_.push_back(config_name);
+    factories_.push_back(std::move(factory));
+    return *this;
+}
+
+ExperimentResult
+Experiment::run()
+{
+    return runCells(suite_->size(), /*smt=*/false);
+}
+
+ExperimentResult
+Experiment::runSmt()
+{
+    return runCells(suite_->smtTracePairs().size(), /*smt=*/true);
+}
+
+ExperimentResult
+Experiment::runCells(size_t rows, bool smt)
+{
+    if (factories_.empty())
+        fatal("experiment '" + name_ + "' has no configurations");
+
+    MatrixResult m;
+    m.numRows = rows;
+    m.numConfigs = factories_.size();
+    m.results.resize(m.numRows * m.numConfigs);
+
+    auto traces = suite_->tracePtrs();
+    auto gs = suite_->gsPtrs();
+    auto pairs = smt ? suite_->smtTracePairs()
+                     : std::vector<std::pair<const Trace*, const Trace*>>{};
+
+    // Checkpoints key on the sweep's identity: the experiment name, the
+    // suite's content, and the ordered config names. Seed/threads are
+    // excluded — cells are deterministic functions of (row, config), so the
+    // same sweep resumed at a different thread count stays bit-identical.
+    std::string ckptDir;
+    std::vector<uint8_t> done(m.results.size(), 0);
+    size_t resumed = 0;
+    auto cellPath = [&](size_t row, size_t cfg) {
+        return ckptDir + "/cell-" + std::to_string(row) + "-" +
+               std::to_string(cfg) + ".rr";
+    };
+    if (!opts_.checkpointDir.empty()) {
+        uint64_t key = hashCombine(suite_->contentHash(), smt ? 1 : 0);
+        for (const std::string& n : names_)
+            key = hashCombine(key, fnv1a(n));
+        ckptDir = opts_.checkpointDir + "/" + sanitizeFileName(name_) +
+                  "-" + hex16(key);
+        makeDirs(ckptDir, "checkpoint");
+        for (size_t row = 0; row < m.numRows; ++row) {
+            for (size_t cfg = 0; cfg < m.numConfigs; ++cfg) {
+                size_t cell = row * m.numConfigs + cfg;
+                if (loadRunResult(cellPath(row, cfg), m.results[cell])) {
+                    done[cell] = 1;
+                    ++resumed;
+                }
+            }
+        }
+    }
+
+    forEachJob(m.results.size(), [&](size_t job, Rng&) {
+        if (done[job])
+            return;
+        size_t row = job / m.numConfigs;
+        size_t cfgIdx = job % m.numConfigs;
+        SystemConfig cfg = factories_[cfgIdx](row);
+        if (smt) {
+            m.results[job] =
+                runSmtPair(*pairs[row].first, *pairs[row].second, cfg);
+        } else {
+            const std::unordered_set<PC>* g = gs.empty() ? nullptr : gs[row];
+            m.results[job] = runTrace(*traces[row], cfg, g);
+        }
+        if (!ckptDir.empty())
+            saveRunResult(cellPath(row, cfgIdx), m.results[job]);
+    }, opts_.batch());
+
+    return ExperimentResult(*suite_, names_, std::move(m), resumed);
+}
+
+} // namespace constable

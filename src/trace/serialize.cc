@@ -1,0 +1,480 @@
+#include "trace/serialize.hh"
+
+#include <unistd.h>
+
+#include <bit>
+#include <cstdio>
+#include <filesystem>
+#include <system_error>
+
+namespace constable {
+
+namespace {
+
+// Magic numbers lead every file so a wrong-type or zero-length file is
+// rejected before any payload parsing.
+constexpr uint32_t kTraceMagic = 0x43545243;  // "CTRC"
+constexpr uint32_t kResultMagic = 0x43525253; // "CRRS"
+
+/** Little-endian append-only encoder. */
+class ByteWriter
+{
+  public:
+    void
+    u8(uint8_t v)
+    {
+        buf_.push_back(v);
+    }
+
+    void
+    u32(uint32_t v)
+    {
+        for (int i = 0; i < 4; ++i)
+            buf_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+    }
+
+    void
+    u64(uint64_t v)
+    {
+        for (int i = 0; i < 8; ++i)
+            buf_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+    }
+
+    void
+    f64(double v)
+    {
+        u64(std::bit_cast<uint64_t>(v));
+    }
+
+    void
+    str(const std::string& s)
+    {
+        u32(static_cast<uint32_t>(s.size()));
+        buf_.insert(buf_.end(), s.begin(), s.end());
+    }
+
+    /** Append the checksum of everything written so far. */
+    void
+    sealChecksum()
+    {
+        u64(fnv1a(buf_.data(), buf_.size()));
+    }
+
+    std::vector<uint8_t> take() { return std::move(buf_); }
+    const std::vector<uint8_t>& bytes() const { return buf_; }
+
+  private:
+    std::vector<uint8_t> buf_;
+};
+
+/** Bounds-checked decoder; every read reports success so callers bail out
+ *  cleanly on truncated input instead of reading past the end. */
+class ByteReader
+{
+  public:
+    ByteReader(const uint8_t* data, size_t n) : data_(data), n_(n) {}
+
+    bool
+    u8(uint8_t& v)
+    {
+        if (pos_ + 1 > n_)
+            return false;
+        v = data_[pos_++];
+        return true;
+    }
+
+    bool
+    u32(uint32_t& v)
+    {
+        if (pos_ + 4 > n_)
+            return false;
+        v = 0;
+        for (int i = 0; i < 4; ++i)
+            v |= static_cast<uint32_t>(data_[pos_++]) << (8 * i);
+        return true;
+    }
+
+    bool
+    u64(uint64_t& v)
+    {
+        if (pos_ + 8 > n_)
+            return false;
+        v = 0;
+        for (int i = 0; i < 8; ++i)
+            v |= static_cast<uint64_t>(data_[pos_++]) << (8 * i);
+        return true;
+    }
+
+    bool
+    f64(double& v)
+    {
+        uint64_t bits;
+        if (!u64(bits))
+            return false;
+        v = std::bit_cast<double>(bits);
+        return true;
+    }
+
+    bool
+    str(std::string& s)
+    {
+        uint32_t len;
+        if (!u32(len) || pos_ + len > n_)
+            return false;
+        s.assign(reinterpret_cast<const char*>(data_ + pos_), len);
+        pos_ += len;
+        return true;
+    }
+
+    size_t remaining() const { return n_ - pos_; }
+
+  private:
+    const uint8_t* data_;
+    size_t n_;
+    size_t pos_ = 0;
+};
+
+/** Split payload from trailing checksum and verify it. */
+bool
+checkedPayload(const std::vector<uint8_t>& bytes, size_t& payload_len)
+{
+    if (bytes.size() < 8)
+        return false;
+    payload_len = bytes.size() - 8;
+    ByteReader tail(bytes.data() + payload_len, 8);
+    uint64_t want;
+    tail.u64(want);
+    return fnv1a(bytes.data(), payload_len) == want;
+}
+
+bool
+writeFileAtomic(const std::string& path, const std::vector<uint8_t>& bytes)
+{
+    // Unique-enough tmp name: the pid guards against another process
+    // writing the same entry; within one process each path has one writer.
+    std::string tmp = path + ".tmp." + std::to_string(::getpid());
+    std::FILE* f = std::fopen(tmp.c_str(), "wb");
+    if (!f)
+        return false;
+    size_t wrote = std::fwrite(bytes.data(), 1, bytes.size(), f);
+    bool ok = (wrote == bytes.size()) && (std::fclose(f) == 0);
+    if (!ok) {
+        std::remove(tmp.c_str());
+        return false;
+    }
+    std::error_code ec;
+    std::filesystem::rename(tmp, path, ec);
+    if (ec) {
+        std::remove(tmp.c_str());
+        return false;
+    }
+    return true;
+}
+
+bool
+readFile(const std::string& path, std::vector<uint8_t>& bytes)
+{
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        return false;
+    std::fseek(f, 0, SEEK_END);
+    long sz = std::ftell(f);
+    if (sz < 0) {
+        std::fclose(f);
+        return false;
+    }
+    std::fseek(f, 0, SEEK_SET);
+    bytes.resize(static_cast<size_t>(sz));
+    size_t got = std::fread(bytes.data(), 1, bytes.size(), f);
+    std::fclose(f);
+    return got == bytes.size();
+}
+
+void
+putOp(ByteWriter& w, const MicroOp& op)
+{
+    w.u64(op.pc);
+    w.u8(static_cast<uint8_t>(op.cls));
+    w.u8(static_cast<uint8_t>(op.addrMode));
+    for (uint8_t s : op.src)
+        w.u8(s);
+    w.u8(op.dst);
+    w.u8(op.size);
+    w.u64(op.effAddr);
+    w.u64(op.value);
+    w.u8(op.taken ? 1 : 0);
+    w.u64(op.target);
+}
+
+bool
+getOp(ByteReader& r, MicroOp& op)
+{
+    uint8_t cls, mode, taken;
+    bool ok = r.u64(op.pc) && r.u8(cls) && r.u8(mode) && r.u8(op.src[0]) &&
+              r.u8(op.src[1]) && r.u8(op.src[2]) && r.u8(op.dst) &&
+              r.u8(op.size) && r.u64(op.effAddr) && r.u64(op.value) &&
+              r.u8(taken) && r.u64(op.target);
+    if (!ok)
+        return false;
+    op.cls = static_cast<OpClass>(cls);
+    op.addrMode = static_cast<AddrMode>(mode);
+    op.taken = taken != 0;
+    return true;
+}
+
+} // namespace
+
+uint64_t
+fnv1a(const uint8_t* data, size_t n)
+{
+    uint64_t h = 0xcbf29ce484222325ull;
+    for (size_t i = 0; i < n; ++i) {
+        h ^= data[i];
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+uint64_t
+fnv1a(const std::string& s)
+{
+    return fnv1a(reinterpret_cast<const uint8_t*>(s.data()), s.size());
+}
+
+std::string
+sanitizeFileName(std::string name)
+{
+    for (char& c : name) {
+        bool keep = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '-' || c == '_' ||
+                    c == '.';
+        if (!keep)
+            c = '_';
+    }
+    return name;
+}
+
+uint64_t
+traceContentHash(const Trace& t)
+{
+    auto bytes = serializeTrace(t);
+    return fnv1a(bytes.data(), bytes.size());
+}
+
+// ---------------------------------------------------------------- traces
+
+std::vector<uint8_t>
+serializeTrace(const Trace& t)
+{
+    ByteWriter w;
+    w.u32(kTraceMagic);
+    w.u32(kSerializeVersion);
+    w.str(t.name);
+    w.str(t.category);
+    w.u32(t.numArchRegs);
+    w.u64(t.ops.size());
+    for (const MicroOp& op : t.ops)
+        putOp(w, op);
+    w.u64(t.snoops.size());
+    for (const SnoopEvent& s : t.snoops) {
+        w.u64(s.beforeSeq);
+        w.u64(s.addr);
+    }
+    w.sealChecksum();
+    return w.take();
+}
+
+bool
+deserializeTrace(const std::vector<uint8_t>& bytes, Trace& out)
+{
+    size_t payload;
+    if (!checkedPayload(bytes, payload))
+        return false;
+    ByteReader r(bytes.data(), payload);
+    uint32_t magic, version;
+    if (!r.u32(magic) || magic != kTraceMagic || !r.u32(version) ||
+        version != kSerializeVersion)
+        return false;
+    Trace t;
+    uint32_t regs;
+    uint64_t nOps, nSnoops;
+    if (!r.str(t.name) || !r.str(t.category) || !r.u32(regs) || !r.u64(nOps))
+        return false;
+    t.numArchRegs = regs;
+    // Per-op payload is 40 bytes; reject absurd counts before reserving.
+    if (nOps > r.remaining() / 40 + 1)
+        return false;
+    t.ops.resize(nOps);
+    for (MicroOp& op : t.ops) {
+        if (!getOp(r, op))
+            return false;
+    }
+    if (!r.u64(nSnoops) || nSnoops > r.remaining() / 16 + 1)
+        return false;
+    t.snoops.resize(nSnoops);
+    for (SnoopEvent& s : t.snoops) {
+        if (!r.u64(s.beforeSeq) || !r.u64(s.addr))
+            return false;
+    }
+    if (r.remaining() != 0)
+        return false;
+    out = std::move(t);
+    return true;
+}
+
+bool
+saveTrace(const std::string& path, const Trace& t)
+{
+    return writeFileAtomic(path, serializeTrace(t));
+}
+
+bool
+loadTrace(const std::string& path, Trace& out)
+{
+    std::vector<uint8_t> bytes;
+    return readFile(path, bytes) && deserializeTrace(bytes, out);
+}
+
+// ------------------------------------------------------------ run results
+
+std::vector<uint8_t>
+serializeRunResult(const RunResult& r)
+{
+    ByteWriter w;
+    w.u32(kResultMagic);
+    w.u32(kSerializeVersion);
+    w.u64(r.cycles);
+    w.u64(r.instructions);
+    for (uint64_t v : r.threadInstructions)
+        w.u64(v);
+    for (Cycle v : r.threadFinishCycle)
+        w.u64(v);
+    w.u8(r.goldenCheckFailed ? 1 : 0);
+    w.str(r.goldenCheckMessage);
+    // std::map iterates name-ordered, so the encoding is deterministic.
+    w.u64(r.stats.all().size());
+    for (const auto& [name, value] : r.stats.all()) {
+        w.str(name);
+        w.f64(value);
+    }
+    w.sealChecksum();
+    return w.take();
+}
+
+bool
+deserializeRunResult(const std::vector<uint8_t>& bytes, RunResult& out)
+{
+    size_t payload;
+    if (!checkedPayload(bytes, payload))
+        return false;
+    ByteReader r(bytes.data(), payload);
+    uint32_t magic, version;
+    if (!r.u32(magic) || magic != kResultMagic || !r.u32(version) ||
+        version != kSerializeVersion)
+        return false;
+    RunResult res;
+    uint8_t failed;
+    uint64_t nStats;
+    if (!r.u64(res.cycles) || !r.u64(res.instructions) ||
+        !r.u64(res.threadInstructions[0]) ||
+        !r.u64(res.threadInstructions[1]) ||
+        !r.u64(res.threadFinishCycle[0]) ||
+        !r.u64(res.threadFinishCycle[1]) || !r.u8(failed) ||
+        !r.str(res.goldenCheckMessage) || !r.u64(nStats))
+        return false;
+    res.goldenCheckFailed = failed != 0;
+    for (uint64_t i = 0; i < nStats; ++i) {
+        std::string name;
+        double value;
+        if (!r.str(name) || !r.f64(value))
+            return false;
+        res.stats.set(name, value);
+    }
+    if (r.remaining() != 0)
+        return false;
+    out = std::move(res);
+    return true;
+}
+
+bool
+saveRunResult(const std::string& path, const RunResult& r)
+{
+    return writeFileAtomic(path, serializeRunResult(r));
+}
+
+bool
+loadRunResult(const std::string& path, RunResult& out)
+{
+    std::vector<uint8_t> bytes;
+    return readFile(path, bytes) && deserializeRunResult(bytes, out);
+}
+
+// ----------------------------------------------------------- cache keying
+
+uint64_t
+specHash(const WorkloadSpec& s)
+{
+    // Serialize every field in declaration order and hash the bytes. New
+    // WorkloadSpec fields must be appended here — kSerializeVersion guards
+    // encoding changes, and test_experiment locks the field count.
+    ByteWriter w;
+    w.u32(kSerializeVersion);
+    w.str(s.name);
+    w.str(s.category);
+    w.u64(s.seed);
+    w.u64(s.targetOps);
+    w.u32(s.numArchRegs);
+    w.u32(s.nGlobalConst);
+    w.u32(s.globalsPerFrag);
+    w.u32(s.globalMutatePeriod);
+    w.u32(s.globalBursts);
+    w.u32(s.nInlinedOnce);
+    w.u32(s.nInlinedSilent);
+    w.u32(s.nInlinedChanging);
+    w.u32(s.inlinedArgs);
+    w.u32(s.inlinedBodyOps);
+    w.u32(s.inlinedBursts);
+    w.u32(s.nObject);
+    w.u32(s.objectFields);
+    w.u32(s.objectIters);
+    w.u32(s.objectBursts);
+    w.u32(s.objectRewritePeriod);
+    w.u8(s.objectAccum ? 1 : 0);
+    w.u32(s.nCall);
+    w.u32(s.callParams);
+    w.u8(static_cast<uint8_t>(s.callMode));
+    w.u32(s.callBursts);
+    w.u32(s.nStream);
+    w.u32(s.streamElems);
+    w.u32(s.streamBursts);
+    w.u32(s.nStrided);
+    w.u32(s.stridedElems);
+    w.u32(s.nChase);
+    w.u32(s.chaseSteps);
+    w.u32(s.chaseFootprintKB);
+    w.u32(s.nPredChase);
+    w.u32(s.predChaseSteps);
+    w.u32(s.predChaseFootprintKB);
+    w.u32(s.nAccum);
+    w.u32(s.accumCounters);
+    w.u32(s.accumBursts);
+    w.u32(s.nBranchy);
+    w.u32(s.branchBranches);
+    w.f64(s.branchRandomFrac);
+    w.u32(s.footprintKB);
+    w.f64(s.snoopPerKilOp);
+    const auto& bytes = w.bytes();
+    return fnv1a(bytes.data(), bytes.size());
+}
+
+std::string
+traceCachePath(const std::string& dir, const WorkloadSpec& spec)
+{
+    std::string name = sanitizeFileName(spec.name);
+    char hex[17];
+    std::snprintf(hex, sizeof(hex), "%016llx",
+                  static_cast<unsigned long long>(specHash(spec)));
+    return dir + "/" + name + "-" + hex + ".trace";
+}
+
+} // namespace constable

@@ -1,7 +1,6 @@
 #include "workloads/suite.hh"
 
-#include <cstdlib>
-
+#include "common/env.hh"
 #include "common/rng.hh"
 
 namespace constable {
@@ -304,10 +303,10 @@ smtPairs(size_t suite_size)
 size_t
 defaultTraceOps()
 {
-    if (const char* env = std::getenv("CONSTABLE_TRACE_OPS")) {
-        long v = std::atol(env);
-        if (v > 1000)
-            return static_cast<size_t>(v);
+    if (auto v = envU64("CONSTABLE_TRACE_OPS")) {
+        if (*v == 0)
+            fatal("CONSTABLE_TRACE_OPS must be >= 1");
+        return static_cast<size_t>(*v);
     }
     return 60'000;
 }

@@ -1,0 +1,446 @@
+/**
+ * @file
+ * Tests for the unified experiment API: binary trace/result serialization
+ * (byte-stable round trips, corruption fallback), the CONSTABLE_TRACE_DIR
+ * suite cache (warm-cache invocations skip generation and are bit-identical
+ * to fresh ones), per-cell checkpoint/resume (a half-completed sweep
+ * resumes to a bit-identical result), and strict option parsing from env
+ * and CLI.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/env.hh"
+#include "sim/experiment.hh"
+#include "trace/serialize.hh"
+#include "workloads/suite.hh"
+
+namespace constable {
+namespace {
+
+namespace fs = std::filesystem;
+
+/** Fresh temp directory per test, removed on teardown. */
+class TempDirTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        std::string tmpl = fs::temp_directory_path() /
+                           "constable-test-XXXXXX";
+        std::vector<char> buf(tmpl.begin(), tmpl.end());
+        buf.push_back('\0');
+        ASSERT_NE(mkdtemp(buf.data()), nullptr);
+        dir = buf.data();
+    }
+
+    void TearDown() override { fs::remove_all(dir); }
+
+    std::string dir;
+};
+
+std::vector<WorkloadSpec>
+twoSpecs(size_t ops = 1500)
+{
+    auto specs = smokeSuite(ops);
+    specs.resize(2);
+    return specs;
+}
+
+ExperimentOptions
+serialOpts()
+{
+    ExperimentOptions opts;
+    opts.threads = 1;
+    opts.traceOps = 1500;
+    return opts;
+}
+
+// ------------------------------------------------------------ serialization
+
+TEST(TraceSerialize, RoundTripIsByteStableAndLossless)
+{
+    Trace t = generateTrace(twoSpecs()[0]);
+    t.snoops.push_back({ 17, 0xdeadbe00 });
+
+    auto bytes = serializeTrace(t);
+    Trace back;
+    ASSERT_TRUE(deserializeTrace(bytes, back));
+
+    EXPECT_EQ(back.name, t.name);
+    EXPECT_EQ(back.category, t.category);
+    EXPECT_EQ(back.numArchRegs, t.numArchRegs);
+    ASSERT_EQ(back.ops.size(), t.ops.size());
+    for (size_t i = 0; i < t.ops.size(); ++i) {
+        EXPECT_EQ(back.ops[i].pc, t.ops[i].pc);
+        EXPECT_EQ(back.ops[i].cls, t.ops[i].cls);
+        EXPECT_EQ(back.ops[i].effAddr, t.ops[i].effAddr);
+        EXPECT_EQ(back.ops[i].value, t.ops[i].value);
+    }
+    ASSERT_EQ(back.snoops.size(), t.snoops.size());
+    EXPECT_EQ(back.snoops.back().addr, 0xdeadbe00u);
+
+    // Byte stability: re-encoding the decoded trace reproduces the bytes.
+    EXPECT_EQ(serializeTrace(back), bytes);
+}
+
+TEST(TraceSerialize, RejectsCorruptionAndTruncation)
+{
+    Trace t = generateTrace(twoSpecs()[0]);
+    auto bytes = serializeTrace(t);
+
+    Trace out;
+    EXPECT_FALSE(deserializeTrace({}, out));
+
+    auto truncated = bytes;
+    truncated.resize(bytes.size() / 2);
+    EXPECT_FALSE(deserializeTrace(truncated, out));
+
+    auto flipped = bytes;
+    flipped[flipped.size() / 2] ^= 0x40;
+    EXPECT_FALSE(deserializeTrace(flipped, out));
+
+    auto wrongMagic = bytes;
+    wrongMagic[0] ^= 0xff;
+    EXPECT_FALSE(deserializeTrace(wrongMagic, out));
+}
+
+TEST(RunResultSerialize, RoundTripPreservesStatsBitExactly)
+{
+    auto specs = twoSpecs();
+    Trace t = generateTrace(specs[0]);
+    RunResult r = runTrace(t, { CoreConfig{}, constableMech() });
+    r.stats.set("test.awkward", 0.1 + 0.2); // not exactly representable
+
+    auto bytes = serializeRunResult(r);
+    RunResult back;
+    ASSERT_TRUE(deserializeRunResult(bytes, back));
+
+    EXPECT_EQ(back.cycles, r.cycles);
+    EXPECT_EQ(back.instructions, r.instructions);
+    EXPECT_EQ(back.threadInstructions, r.threadInstructions);
+    EXPECT_EQ(back.threadFinishCycle, r.threadFinishCycle);
+    EXPECT_EQ(back.goldenCheckFailed, r.goldenCheckFailed);
+    // The full named map, doubles compared bit-exactly via ==.
+    EXPECT_EQ(back.stats.all(), r.stats.all());
+    EXPECT_EQ(serializeRunResult(back), bytes);
+
+    auto truncated = bytes;
+    truncated.resize(bytes.size() - 9);
+    EXPECT_FALSE(deserializeRunResult(truncated, back));
+}
+
+TEST(TraceSerialize, SpecHashSeparatesSpecs)
+{
+    auto specs = twoSpecs();
+    EXPECT_NE(specHash(specs[0]), specHash(specs[1]));
+
+    WorkloadSpec scaled = specs[0];
+    scaled.targetOps *= 2; // CONSTABLE_TRACE_OPS must invalidate the cache
+    EXPECT_NE(specHash(scaled), specHash(specs[0]));
+
+    WorkloadSpec apx = specs[0];
+    apx.numArchRegs = 32;
+    EXPECT_NE(specHash(apx), specHash(specs[0]));
+}
+
+// -------------------------------------------------------------- trace cache
+
+class TraceCache : public TempDirTest
+{};
+
+TEST_F(TraceCache, WarmCacheSkipsGenerationAndIsIdentical)
+{
+    ExperimentOptions opts = serialOpts();
+    opts.traceDir = dir;
+
+    Suite cold = Suite::fromSpecs(twoSpecs(), opts);
+    EXPECT_EQ(cold.cacheMisses(), 2u);
+    EXPECT_EQ(cold.cacheHits(), 0u);
+
+    // Second invocation: every trace comes from disk, none regenerated.
+    Suite warm = Suite::fromSpecs(twoSpecs(), opts);
+    EXPECT_EQ(warm.cacheHits(), 2u);
+    EXPECT_EQ(warm.cacheMisses(), 0u);
+
+    // Cached traces are byte-identical to freshly generated ones.
+    ExperimentOptions noCache = serialOpts();
+    Suite fresh = Suite::fromSpecs(twoSpecs(), noCache);
+    for (size_t i = 0; i < fresh.size(); ++i) {
+        EXPECT_EQ(serializeTrace(warm.trace(i)),
+                  serializeTrace(fresh.trace(i)));
+    }
+}
+
+TEST_F(TraceCache, CacheHitProducesIdenticalRunResult)
+{
+    ExperimentOptions opts = serialOpts();
+    opts.traceDir = dir;
+
+    auto runBoth = [&](const Suite& suite) {
+        return Experiment("cachecheck", suite, opts)
+            .add("baseline", baselineMech())
+            .add("constable", constableMech())
+            .run();
+    };
+    Suite cold = Suite::fromSpecs(twoSpecs(), opts);
+    Suite warm = Suite::fromSpecs(twoSpecs(), opts);
+    ASSERT_EQ(warm.cacheHits(), 2u);
+
+    auto a = runBoth(cold);
+    auto b = runBoth(warm);
+    EXPECT_EQ(a.totalCycles(), b.totalCycles());
+    EXPECT_EQ(a.matrix().aggregateStats().all(),
+              b.matrix().aggregateStats().all());
+}
+
+TEST_F(TraceCache, CorruptOrTruncatedFilesFallBackToRegeneration)
+{
+    ExperimentOptions opts = serialOpts();
+    opts.traceDir = dir;
+    Suite cold = Suite::fromSpecs(twoSpecs(), opts);
+    ASSERT_EQ(cold.cacheMisses(), 2u);
+
+    // Truncate one cache file, corrupt the other in place.
+    std::vector<std::string> files;
+    for (const auto& e : fs::directory_iterator(dir))
+        files.push_back(e.path().string());
+    ASSERT_EQ(files.size(), 2u);
+    fs::resize_file(files[0], fs::file_size(files[0]) / 3);
+    {
+        std::fstream f(files[1],
+                       std::ios::in | std::ios::out | std::ios::binary);
+        f.seekp(64);
+        f.put('\x7f');
+    }
+
+    // No crash: both entries regenerate (and rewrite the cache)...
+    Suite repaired = Suite::fromSpecs(twoSpecs(), opts);
+    EXPECT_EQ(repaired.cacheMisses(), 2u);
+    Suite fresh = Suite::fromSpecs(twoSpecs(), serialOpts());
+    for (size_t i = 0; i < fresh.size(); ++i) {
+        EXPECT_EQ(serializeTrace(repaired.trace(i)),
+                  serializeTrace(fresh.trace(i)));
+    }
+    // ...and the rewritten files serve hits again.
+    Suite warm = Suite::fromSpecs(twoSpecs(), opts);
+    EXPECT_EQ(warm.cacheHits(), 2u);
+}
+
+// --------------------------------------------------------- checkpoint/resume
+
+class Checkpoint : public TempDirTest
+{};
+
+TEST_F(Checkpoint, ResumeFromPartialCheckpointIsBitIdentical)
+{
+    ExperimentOptions opts = serialOpts();
+    Suite suite = Suite::fromSpecs(twoSpecs(), opts);
+
+    auto makeExp = [&](const ExperimentOptions& o) {
+        Experiment e("resume", suite, o);
+        e.add("baseline", baselineMech())
+            .add("eves", evesMech())
+            .add("constable", constableMech());
+        return e;
+    };
+
+    // Uninterrupted reference, no checkpointing.
+    auto ref = makeExp(opts).run();
+
+    // Full checkpointed run, then drop half the cells to model a kill.
+    ExperimentOptions ck = opts;
+    ck.checkpointDir = dir;
+    auto first = makeExp(ck).run();
+    EXPECT_EQ(first.resumedCells(), 0u);
+    EXPECT_EQ(first.totalCycles(), ref.totalCycles());
+
+    std::vector<std::string> cells;
+    for (const auto& sub : fs::directory_iterator(dir)) {
+        for (const auto& f : fs::directory_iterator(sub.path()))
+            cells.push_back(f.path().string());
+    }
+    ASSERT_EQ(cells.size(), 6u); // 2 rows x 3 configs
+    std::sort(cells.begin(), cells.end());
+    for (size_t i = 0; i < cells.size() / 2; ++i)
+        fs::remove(cells[i]);
+
+    // Resume: half the cells load from disk, the rest re-simulate; the
+    // merged result must be bit-identical to the uninterrupted run.
+    auto resumed = makeExp(ck).run();
+    EXPECT_EQ(resumed.resumedCells(), 3u);
+    EXPECT_EQ(resumed.totalCycles(), ref.totalCycles());
+    EXPECT_EQ(resumed.matrix().aggregateStats().all(),
+              ref.matrix().aggregateStats().all());
+
+    // A fully warm checkpoint resumes every cell.
+    auto warm = makeExp(ck).run();
+    EXPECT_EQ(warm.resumedCells(), 6u);
+    EXPECT_EQ(warm.totalCycles(), ref.totalCycles());
+}
+
+TEST_F(Checkpoint, SmtSweepCheckpointsSeparatelyFromNoSmt)
+{
+    ExperimentOptions ck = serialOpts();
+    ck.checkpointDir = dir;
+    Suite suite = Suite::fromSpecs(twoSpecs(), ck);
+
+    auto makeExp = [&]() {
+        Experiment e("smt-vs-not", suite, ck);
+        e.add("baseline", baselineMech());
+        return e;
+    };
+    auto plain = makeExp().run();
+    auto smt = makeExp().runSmt();
+    EXPECT_EQ(smt.resumedCells(), 0u); // distinct key: no cross-pollution
+    EXPECT_NE(plain.totalCycles(), smt.totalCycles());
+
+    auto smtAgain = makeExp().runSmt();
+    EXPECT_EQ(smtAgain.resumedCells(), 1u); // 1 pair x 1 config
+    EXPECT_EQ(smtAgain.totalCycles(), smt.totalCycles());
+}
+
+// ----------------------------------------------------------- option parsing
+
+TEST(Options, StrictParserAcceptsDecimalAndHex)
+{
+    EXPECT_EQ(parseU64Strict("X", "42"), 42u);
+    EXPECT_EQ(parseU64Strict("X", "0x10"), 16u);
+    EXPECT_EQ(parseU64Strict("X", "0"), 0u);
+    EXPECT_EQ(parseU64Strict("X", " 7"), 7u);
+}
+
+TEST(OptionsDeathTest, StrictParserRejectsGarbage)
+{
+    EXPECT_EXIT(parseU64Strict("CONSTABLE_THREADS", "abc"),
+                ::testing::ExitedWithCode(1), "non-negative integer");
+    EXPECT_EXIT(parseU64Strict("CONSTABLE_THREADS", "4x"),
+                ::testing::ExitedWithCode(1), "non-negative integer");
+    EXPECT_EXIT(parseU64Strict("CONSTABLE_THREADS", ""),
+                ::testing::ExitedWithCode(1), "non-negative integer");
+    EXPECT_EXIT(parseU64Strict("CONSTABLE_THREADS", "-3"),
+                ::testing::ExitedWithCode(1), "non-negative integer");
+    EXPECT_EXIT(parseU64Strict("CONSTABLE_SEED",
+                               "99999999999999999999999999"),
+                ::testing::ExitedWithCode(1), "non-negative integer");
+}
+
+TEST(OptionsDeathTest, MalformedEnvIsFatalNotSilent)
+{
+    // The historical bug: CONSTABLE_THREADS=abc silently became 0 (all
+    // cores). Now it must terminate with a clear message.
+    EXPECT_EXIT(
+        {
+            setenv("CONSTABLE_THREADS", "abc", 1);
+            ExperimentOptions::fromEnv();
+        },
+        ::testing::ExitedWithCode(1), "CONSTABLE_THREADS");
+    EXPECT_EXIT(
+        {
+            setenv("CONSTABLE_TRACE_OPS", "0", 1);
+            ExperimentOptions::fromEnv();
+        },
+        ::testing::ExitedWithCode(1), "CONSTABLE_TRACE_OPS");
+}
+
+TEST(Options, FromArgsOverridesEnv)
+{
+    setenv("CONSTABLE_THREADS", "2", 1);
+    const char* argv[] = { "prog", "--threads=5", "--seed", "0x2a",
+                           "--trace-ops=4000", "--suite-limit=3",
+                           "--trace-dir=/tmp/x", "--checkpoint-dir",
+                           "/tmp/y" };
+    auto opts = ExperimentOptions::fromArgs(
+        static_cast<int>(std::size(argv)), const_cast<char**>(argv));
+    unsetenv("CONSTABLE_THREADS");
+
+    EXPECT_EQ(opts.threads, 5u);
+    EXPECT_EQ(opts.seed, 42u);
+    EXPECT_EQ(opts.traceOps, 4000u);
+    EXPECT_EQ(opts.suiteLimit, 3u);
+    EXPECT_EQ(opts.traceDir, "/tmp/x");
+    EXPECT_EQ(opts.checkpointDir, "/tmp/y");
+}
+
+TEST(OptionsDeathTest, UnknownFlagIsFatal)
+{
+    const char* argv[] = { "prog", "--no-such-flag=1" };
+    EXPECT_EXIT(ExperimentOptions::fromArgs(2, const_cast<char**>(argv)),
+                ::testing::ExitedWithCode(1), "unknown argument");
+}
+
+// ------------------------------------------------------------- facade shape
+
+TEST(Experiment, MatchesDirectRunMatrixBitExactly)
+{
+    ExperimentOptions opts = serialOpts();
+    Suite suite = Suite::fromSpecs(twoSpecs(), opts);
+
+    auto res = Experiment("parity", suite, opts)
+                   .add("baseline", baselineMech())
+                   .add("constable", constableMech())
+                   .run();
+
+    std::vector<SystemConfig> configs = {
+        { CoreConfig{}, baselineMech() },
+        { CoreConfig{}, constableMech() },
+    };
+    MatrixResult direct =
+        runMatrix(suite.tracePtrs(), configs, suite.gsPtrs(), opts.batch());
+
+    ASSERT_EQ(res.matrix().results.size(), direct.results.size());
+    EXPECT_EQ(res.totalCycles(), direct.totalCycles());
+    EXPECT_EQ(res.matrix().aggregateStats().all(),
+              direct.aggregateStats().all());
+    // Name-addressed accessors hit the right cells.
+    EXPECT_EQ(res.at(1, "constable").cycles, direct.at(1, 1).cycles);
+    EXPECT_EQ(res.speedups("constable", "baseline")[0],
+              speedup(direct.at(0, 1), direct.at(0, 0)));
+}
+
+TEST(ExperimentDeathTest, UnknownConfigNameIsFatal)
+{
+    ExperimentOptions opts = serialOpts();
+    auto specs = twoSpecs();
+    specs.resize(1);
+    Suite suite = Suite::fromSpecs(specs, opts);
+    auto res = Experiment("names", suite, opts)
+                   .add("baseline", baselineMech())
+                   .run();
+    EXPECT_EXIT(res.at(0, "typo"), ::testing::ExitedWithCode(1),
+                "no configuration named");
+}
+
+TEST(Suite, FromTracesSupportsHandBuiltWorkloads)
+{
+    auto specs = twoSpecs();
+    std::vector<Trace> traces;
+    traces.push_back(generateTrace(specs[0]));
+    traces.push_back(generateTrace(specs[1]));
+    std::string name0 = traces[0].name;
+
+    Suite suite = Suite::fromTraces(std::move(traces));
+    EXPECT_EQ(suite.size(), 2u);
+    EXPECT_EQ(suite.spec(0).name, name0);
+    EXPECT_TRUE(suite.inspected());
+    EXPECT_EQ(suite.gsPtrs().size(), 2u);
+
+    // Checkpoints key on the trace bytes: an edited hand-built trace with
+    // the same name must change the suite's content hash.
+    std::vector<Trace> edited;
+    edited.push_back(generateTrace(specs[0]));
+    edited.push_back(generateTrace(specs[1]));
+    edited[0].ops[0].value ^= 1;
+    Suite editedSuite = Suite::fromTraces(std::move(edited));
+    EXPECT_NE(editedSuite.contentHash(), suite.contentHash());
+}
+
+} // namespace
+} // namespace constable
