@@ -1,0 +1,284 @@
+/**
+ * @file
+ * Wall-clock regression bench for the simulator itself (not the modeled
+ * core): times a {suite x mechanism-preset} sweep through the Experiment
+ * API and reports simulated mega-ops per wall-second per preset, so every
+ * PR leaves a recorded performance trajectory.
+ *
+ * Output is machine-readable JSON (BENCH_perf.json by default). With
+ * --check-against=FILE the bench compares its total throughput against a
+ * previously recorded file and exits non-zero on a regression beyond
+ * --max-regression (CI gate).
+ *
+ *   ./build/bench/perf_regression                      # measure + write
+ *   ./build/bench/perf_regression --repeats=3 \
+ *       --check-against=bench/BENCH_perf_baseline.json # gate vs baseline
+ *
+ * Build Release (-O2, NDEBUG) for meaningful numbers; per-cell checkpoints
+ * are force-disabled so every cell really simulates.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "sim/experiment.hh"
+#include "sim/runner.hh"
+
+namespace constable {
+namespace {
+
+struct PerfFlags
+{
+    std::string jsonOut = "BENCH_perf.json";
+    std::string checkAgainst;
+    double maxRegression = 0.25;
+    unsigned repeats = 1;
+};
+
+struct PresetTiming
+{
+    std::string name;
+    size_t cells = 0;
+    uint64_t instructions = 0;
+    uint64_t cycles = 0;
+    double wallSeconds = 0.0;
+
+    double mopsPerSec() const
+    {
+        return wallSeconds <= 0.0
+                   ? 0.0
+                   : static_cast<double>(instructions) / wallSeconds / 1e6;
+    }
+};
+
+double
+secondsSince(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         t0)
+        .count();
+}
+
+/**
+ * Minimal value extractor for the JSON this bench itself emits: finds
+ * "key":<number> after position pos. Good enough for the regression gate
+ * without a JSON dependency.
+ */
+bool
+extractNumber(const std::string& json, const std::string& key, size_t pos,
+              double& out)
+{
+    std::string needle = "\"" + key + "\":";
+    size_t at = json.find(needle, pos);
+    if (at == std::string::npos)
+        return false;
+    out = std::strtod(json.c_str() + at + needle.size(), nullptr);
+    return true;
+}
+
+bool
+readWholeFile(const std::string& path, std::string& out)
+{
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        return false;
+    std::fseek(f, 0, SEEK_END);
+    long sz = std::ftell(f);
+    std::fseek(f, 0, SEEK_SET);
+    out.resize(sz > 0 ? static_cast<size_t>(sz) : 0);
+    size_t got = std::fread(out.data(), 1, out.size(), f);
+    std::fclose(f);
+    return got == out.size();
+}
+
+} // namespace
+
+int
+perfMain(int argc, char** argv)
+{
+    // Split this bench's own flags from the shared Experiment options.
+    PerfFlags flags;
+    std::vector<char*> rest;
+    rest.push_back(argc > 0 ? argv[0] : const_cast<char*>("perf_regression"));
+    auto valueOf = [&](const std::string& arg, int& i) -> std::string {
+        if (auto eq = arg.find('='); eq != std::string::npos)
+            return arg.substr(eq + 1);
+        if (i + 1 >= argc)
+            fatal(arg + " requires a value");
+        return argv[++i];
+    };
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        std::string flag = arg.substr(0, arg.find('='));
+        if (flag == "--json-out") {
+            flags.jsonOut = valueOf(arg, i);
+        } else if (flag == "--check-against") {
+            flags.checkAgainst = valueOf(arg, i);
+        } else if (flag == "--max-regression") {
+            flags.maxRegression = std::strtod(valueOf(arg, i).c_str(),
+                                              nullptr);
+        } else if (flag == "--repeats") {
+            flags.repeats = static_cast<unsigned>(
+                std::strtoul(valueOf(arg, i).c_str(), nullptr, 10));
+            if (flags.repeats == 0)
+                fatal("--repeats must be >= 1");
+        } else {
+            if (flag == "--help" || flag == "-h") {
+                std::printf(
+                    "perf_regression extra options:\n"
+                    "  --json-out=PATH        result JSON (default "
+                    "BENCH_perf.json)\n"
+                    "  --check-against=PATH   fail on throughput regression "
+                    "vs this file\n"
+                    "  --max-regression=F     allowed fractional slowdown "
+                    "(default 0.25)\n"
+                    "  --repeats=N            timed repeats, best-of "
+                    "(default 1)\n");
+            }
+            rest.push_back(argv[i]);
+        }
+    }
+
+    ExperimentOptions opts = ExperimentOptions::fromArgs(
+        static_cast<int>(rest.size()), rest.data());
+    // A perf measurement must simulate every cell: checkpoint resume would
+    // turn the sweep into file reads and time nothing.
+    opts.checkpointDir.clear();
+
+    std::printf("preparing suite (workloads x %zu ops)...\n", opts.traceOps);
+    Suite suite = Suite::prepare(opts, /*inspect=*/false);
+
+    const std::vector<std::pair<std::string, MechanismConfig>> presets = {
+        { "baseline", baselineMech() },
+        { "constable", constableMech() },
+        { "eves", evesMech() },
+        { "eves+constable", evesPlusConstableMech() },
+        { "elar+constable", elarPlusConstableMech() },
+        { "rfp+constable", rfpPlusConstableMech() },
+    };
+
+    std::vector<PresetTiming> timings;
+    uint64_t determinism = 0;
+    for (const auto& [name, mech] : presets) {
+        Experiment exp("perf_" + name, suite, opts);
+        exp.add(name, mech);
+
+        PresetTiming t;
+        t.name = name;
+        t.cells = suite.size();
+        double best = -1.0;
+        for (unsigned rep = 0; rep < flags.repeats; ++rep) {
+            auto t0 = std::chrono::steady_clock::now();
+            ExperimentResult res = exp.run();
+            double secs = secondsSince(t0);
+            if (best < 0.0 || secs < best) {
+                best = secs;
+                t.instructions = 0;
+                t.cycles = 0;
+                for (size_t row = 0; row < res.numRows(); ++row) {
+                    t.instructions += res.at(row, 0).instructions;
+                    t.cycles += res.at(row, 0).cycles;
+                }
+            }
+            if (rep == 0) // repeats are identical; fold each preset once
+                determinism ^= res.totalCycles();
+        }
+        t.wallSeconds = best;
+        timings.push_back(t);
+        std::printf("%-18s %6.3fs  %8.2f Mops/s  (%zu cells, %llu insts)\n",
+                    name.c_str(), t.wallSeconds, t.mopsPerSec(), t.cells,
+                    static_cast<unsigned long long>(t.instructions));
+    }
+
+    double totalSecs = 0.0;
+    uint64_t totalInsts = 0;
+    for (const PresetTiming& t : timings) {
+        totalSecs += t.wallSeconds;
+        totalInsts += t.instructions;
+    }
+    double totalMops =
+        totalSecs <= 0.0 ? 0.0
+                         : static_cast<double>(totalInsts) / totalSecs / 1e6;
+    std::printf("total              %6.3fs  %8.2f Mops/s  (determinism "
+                "%016llx)\n",
+                totalSecs, totalMops,
+                static_cast<unsigned long long>(determinism));
+
+    // ------------------------------------------------------------- JSON out
+    std::string json = "{\n  \"schema\": \"constable-perf-v1\",\n";
+    {
+        char buf[256];
+        std::snprintf(buf, sizeof(buf),
+                      "  \"suite\": {\"workloads\":%zu, \"trace_ops\":%zu, "
+                      "\"threads\":%u, \"repeats\":%u},\n",
+                      suite.size(), opts.traceOps, opts.threads,
+                      flags.repeats);
+        json += buf;
+        json += "  \"presets\": [\n";
+        for (size_t i = 0; i < timings.size(); ++i) {
+            const PresetTiming& t = timings[i];
+            std::snprintf(
+                buf, sizeof(buf),
+                "    {\"name\":\"%s\", \"cells\":%zu, "
+                "\"instructions\":%llu, \"cycles\":%llu, "
+                "\"wall_seconds\":%.6f, \"mops_per_sec\":%.3f}%s\n",
+                t.name.c_str(), t.cells,
+                static_cast<unsigned long long>(t.instructions),
+                static_cast<unsigned long long>(t.cycles), t.wallSeconds,
+                t.mopsPerSec(), i + 1 < timings.size() ? "," : "");
+            json += buf;
+        }
+        json += "  ],\n";
+        std::snprintf(buf, sizeof(buf),
+                      "  \"total\": {\"wall_seconds\":%.6f, "
+                      "\"mops_per_sec\":%.3f}\n}\n",
+                      totalSecs, totalMops);
+        json += buf;
+    }
+    std::FILE* out = std::fopen(flags.jsonOut.c_str(), "wb");
+    if (!out)
+        fatal("cannot write " + flags.jsonOut);
+    std::fwrite(json.data(), 1, json.size(), out);
+    std::fclose(out);
+    std::printf("wrote %s\n", flags.jsonOut.c_str());
+
+    // ------------------------------------------------------ regression gate
+    if (!flags.checkAgainst.empty()) {
+        std::string baseline;
+        if (!readWholeFile(flags.checkAgainst, baseline))
+            fatal("cannot read baseline " + flags.checkAgainst);
+        size_t totalAt = baseline.find("\"total\"");
+        double baseMops = 0.0;
+        if (totalAt == std::string::npos ||
+            !extractNumber(baseline, "mops_per_sec", totalAt, baseMops))
+            fatal("baseline " + flags.checkAgainst +
+                  " has no total mops_per_sec");
+        double floor = baseMops * (1.0 - flags.maxRegression);
+        std::printf("regression gate: current %.2f vs baseline %.2f Mops/s "
+                    "(floor %.2f)\n",
+                    totalMops, baseMops, floor);
+        if (totalMops < floor) {
+            std::fprintf(stderr,
+                         "PERF REGRESSION: %.2f Mops/s is %.1f%% below "
+                         "baseline %.2f\n",
+                         totalMops, 100.0 * (1.0 - totalMops / baseMops),
+                         baseMops);
+            return 1;
+        }
+        std::printf("regression gate passed\n");
+    }
+    return 0;
+}
+
+} // namespace constable
+
+int
+main(int argc, char** argv)
+{
+    return constable::perfMain(argc, argv);
+}

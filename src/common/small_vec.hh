@@ -1,0 +1,64 @@
+/**
+ * @file
+ * SmallVec: a push/clear/index sequence with inline storage for the first N
+ * elements and a retained heap spill beyond. Built for the simulator's
+ * per-slot scratch lists (e.g. an in-flight op's consumer list): the common
+ * case never touches the heap, and clear() keeps the spill buffer's
+ * capacity, so steady-state reuse is allocation-free.
+ */
+
+#ifndef CONSTABLE_COMMON_SMALL_VEC_HH
+#define CONSTABLE_COMMON_SMALL_VEC_HH
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+namespace constable {
+
+template <typename T, size_t N>
+class SmallVec
+{
+  public:
+    void
+    push_back(const T& v)
+    {
+        if (n_ < N)
+            inline_[n_] = v;
+        else
+            spill_.push_back(v);
+        ++n_;
+    }
+
+    /** Drop all elements; inline slots and spill capacity are retained. */
+    void
+    clear()
+    {
+        n_ = 0;
+        spill_.clear();
+    }
+
+    size_t size() const { return n_; }
+    bool empty() const { return n_ == 0; }
+
+    const T&
+    operator[](size_t i) const
+    {
+        return i < N ? inline_[i] : spill_[i - N];
+    }
+
+    T&
+    operator[](size_t i)
+    {
+        return i < N ? inline_[i] : spill_[i - N];
+    }
+
+  private:
+    size_t n_ = 0;
+    std::array<T, N> inline_ {};
+    std::vector<T> spill_;
+};
+
+} // namespace constable
+
+#endif

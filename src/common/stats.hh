@@ -82,17 +82,16 @@ class Histogram
  * Named scalar counters grouped per simulation run. The core, memory
  * hierarchy, Constable engine and power model all report through this so
  * benches can diff configurations uniformly.
+ *
+ * Export-only by design: there is deliberately no string-keyed increment.
+ * Per-op/per-cycle paths bump raw integer members on their owning component
+ * and publish them exactly once, at the end of a run, through an
+ * exportStats()/exportFinalStats() hook -- a string-keyed map update per
+ * event is a hash+allocation tax the simulation inner loop must not pay.
  */
 class StatSet
 {
   public:
-    /** Add delta to a named counter (creates it at zero first). */
-    void
-    inc(const std::string& name, uint64_t delta = 1)
-    {
-        vals[name] += static_cast<double>(delta);
-    }
-
     /** Set/overwrite a named value. */
     void set(const std::string& name, double v) { vals[name] = v; }
 

@@ -1,6 +1,7 @@
 #include "cpu/core.hh"
 
 #include <algorithm>
+#include <bit>
 
 #include "common/logging.hh"
 
@@ -21,6 +22,7 @@ OooCore::OooCore(const CoreConfig& core_cfg, const MechanismConfig& mech_cfg,
     for (size_t i = 0; i < traces.size(); ++i) {
         threads[i].trace = traces[i];
         threads[i].renameMap.fill(Ref{});
+        threads[i].recentOps.reserve(32);
     }
 
     size_t totalSlots = static_cast<size_t>(cfg.robPerThread()) *
@@ -29,11 +31,19 @@ OooCore::OooCore(const CoreConfig& core_cfg, const MechanismConfig& mech_cfg,
     freeSlots.reserve(totalSlots);
     for (size_t i = 0; i < totalSlots; ++i)
         freeSlots.push_back(static_cast<int>(totalSlots - 1 - i));
+    blockedLoads.reserve(64);
+    for (ReadyQueue& q : readyQ)
+        q.heap.reserve(64);
 
     // Warm L2/LLC with the trace footprint (memory-state snapshot).
+    // Repeated warmLine() calls on a present line are no-ops, so dedupe
+    // up front: one hash probe replaces three set-associative way scans
+    // for every revisited line of the footprint.
+    std::unordered_set<Addr> warmed;
+    warmed.reserve(1024);
     for (const ThreadCtx& t : threads) {
         for (const MicroOp& op : t.trace->ops) {
-            if (op.isMem())
+            if (op.isMem() && warmed.insert(lineAddr(op.effAddr)).second)
                 memory.warmLine(lineAddr(op.effAddr));
         }
     }
@@ -59,9 +69,13 @@ OooCore::allocSlot()
         return -1;
     int s = freeSlots.back();
     freeSlots.pop_back();
-    slots[s] = InFlight{};
-    slots[s].gen = genCounter++;
-    slots[s].valid = true;
+    InFlight& e = slots[s];
+    // Aggregate reset of the trivially-copyable part; the consumer list
+    // keeps its (already empty, see wakeConsumers/freeSlot) spill storage.
+    static_cast<InFlightState&>(e) = InFlightState{};
+    e.consumers.clear();
+    e.gen = genCounter++;
+    e.valid = true;
     return s;
 }
 
@@ -79,8 +93,42 @@ OooCore::schedule(int slot, EventKind kind, unsigned delay)
         delay = 1;
     if (delay >= kWheelSize)
         delay = kWheelSize - 1;
-    wheel[(now + delay) % kWheelSize].push_back(
-        Event{ slot, slots[slot].gen, kind });
+    unsigned idx = (now + delay) % kWheelSize;
+    wheel[idx].push_back(Event{ slot, slots[slot].gen, kind });
+    wheelOccupied[idx / 64] |= 1ull << (idx % 64);
+    ++pendingEvents;
+}
+
+/** Smallest delay d >= 1 with a populated wheel bucket; 0 when the wheel is
+ *  empty. The current bucket is always drained, so a set bit is never at
+ *  delay 0. */
+unsigned
+OooCore::nextEventDelay() const
+{
+    if (pendingEvents == 0)
+        return 0;
+    constexpr unsigned kWords = kWheelSize / 64;
+    unsigned cur = static_cast<unsigned>(now % kWheelSize);
+    unsigned s0 = (cur + 1) % kWheelSize;
+    unsigned found = kWheelSize;
+    uint64_t head = wheelOccupied[s0 / 64] & (~0ull << (s0 % 64));
+    if (head != 0) {
+        found = (s0 / 64) * 64 +
+                static_cast<unsigned>(std::countr_zero(head));
+    } else {
+        for (unsigned i = 1; i <= kWords; ++i) {
+            unsigned w = (s0 / 64 + i) % kWords;
+            uint64_t bits = wheelOccupied[w];
+            if (w == s0 / 64) // wrapped: only bits below the start count
+                bits &= (s0 % 64) ? ((1ull << (s0 % 64)) - 1) : 0;
+            if (bits != 0) {
+                found = w * 64 +
+                        static_cast<unsigned>(std::countr_zero(bits));
+                break;
+            }
+        }
+    }
+    return (found + kWheelSize - cur) % kWheelSize;
 }
 
 void
@@ -89,14 +137,54 @@ OooCore::addReady(int slot)
     InFlight& e = at(slot);
     e.state = State::Ready;
     e.readyAt = now + 1;
-    readyQ[static_cast<unsigned>(portOf(e))].insert({ e.gen, slot });
+    unsigned port = static_cast<unsigned>(portOf(e));
+    ReadyQueue& q = readyQ[port];
+    q.heap.push_back(ReadyEntry{ e.gen, slot });
+    std::push_heap(q.heap.begin(), q.heap.end(),
+                   [](const ReadyEntry& a, const ReadyEntry& b) {
+                       return a.gen > b.gen;
+                   });
+    ++q.live;
+    if (port == static_cast<unsigned>(PortType::Load) && !e.isGsLoad)
+        ++readyNonGsLoads;
 }
 
 void
 OooCore::removeReady(int slot)
 {
+    // Lazy invalidation: only the live count drops; the heap entry stays
+    // behind and popReady() discards it by generation mismatch (the slot is
+    // freed or re-allocated under a strictly larger gen).
     InFlight& e = at(slot);
-    readyQ[static_cast<unsigned>(portOf(e))].erase({ e.gen, slot });
+    unsigned port = static_cast<unsigned>(portOf(e));
+    --readyQ[port].live;
+    if (port == static_cast<unsigned>(PortType::Load) && !e.isGsLoad)
+        --readyNonGsLoads;
+}
+
+/** Pop the oldest live ready op on a port, discarding stale heap entries on
+ *  the way; -1 when nothing live remains. */
+int
+OooCore::popReady(unsigned port)
+{
+    ReadyQueue& q = readyQ[port];
+    auto older = [](const ReadyEntry& a, const ReadyEntry& b) {
+        return a.gen > b.gen;
+    };
+    while (!q.heap.empty()) {
+        ReadyEntry top = q.heap.front();
+        std::pop_heap(q.heap.begin(), q.heap.end(), older);
+        q.heap.pop_back();
+        InFlight& e = slots[top.slot];
+        if (e.valid && e.gen == top.gen && e.state == State::Ready) {
+            --q.live;
+            if (port == static_cast<unsigned>(PortType::Load) &&
+                !e.isGsLoad)
+                --readyNonGsLoads;
+            return top.slot;
+        }
+    }
+    return -1;
 }
 
 OooCore::PortType
@@ -222,6 +310,7 @@ OooCore::renameOne(ThreadCtx& t, unsigned& loads_this_cycle,
 
     if (op.isLoad()) {
         ++loads_this_cycle;
+        e.isGsLoad = globalStable && globalStable->count(op.pc);
         bool handled = false;
 
         // Oracle configurations (Fig 7).
@@ -376,8 +465,10 @@ OooCore::renameOne(ThreadCtx& t, unsigned& loads_this_cycle,
         e.inRs = true;
         ++rsAllocs;
     }
-    if (op.isLoad())
+    if (op.isLoad()) {
         ++t.lbUsed;
+        t.loadList.push_back(s);
+    }
     if (op.isStore()) {
         ++t.sbUsed;
         t.storeList.push_back(s);
@@ -460,19 +551,18 @@ OooCore::issueStage()
     unsigned branchIssued = 0;
     for (unsigned oi = 0; oi < 4; ++oi) {
         unsigned ty = order[oi];
-        auto& q = readyQ[ty];
         unsigned used = 0;
         unsigned cap = capacity[ty];
         if (ty == static_cast<unsigned>(PortType::Alu))
             cap = cap > branchIssued ? cap - branchIssued : 0;
         bool isLoadPort = ty == static_cast<unsigned>(PortType::Load);
         bool gsIssued = false;
-        while (used < cap && !q.empty()) {
+        while (used < cap) {
             if (isLoadPort && loadTokens < cfg.loadPortOccupancy)
                 break;
-            auto it = q.begin();
-            int s = it->second;
-            q.erase(it);
+            int s = popReady(ty);
+            if (s < 0)
+                break;
             InFlight& e = at(s);
             e.state = State::Issued;
             ++issueEvents;
@@ -486,7 +576,7 @@ OooCore::issueStage()
                     ++aguExecs;
                 schedule(s, EventKind::AguDone, cfg.aguLat);
                 loadTokens -= cfg.loadPortOccupancy;
-                if (globalStable && globalStable->count(e.op.pc))
+                if (e.isGsLoad)
                     gsIssued = true;
                 break;
               case OpClass::Store:
@@ -519,16 +609,9 @@ OooCore::issueStage()
                 ++loadUtilCycles;
             if (gsIssued) {
                 // Fig 6b: is a non-global-stable load waiting on the same
-                // ports this cycle?
-                bool nonGsWaiting = false;
-                for (const auto& [gen, slot] : q) {
-                    const InFlight& w = at(slot);
-                    if (!globalStable || !globalStable->count(w.op.pc)) {
-                        nonGsWaiting = true;
-                        break;
-                    }
-                }
-                if (nonGsWaiting)
+                // ports this cycle? O(1) via the live ready-non-GS count
+                // (equals what a scan of the remaining queue would find).
+                if (readyNonGsLoads > 0)
                     ++gsOccupiedWaitCycles;
                 else
                     ++gsOccupiedNoWaitCycles;
@@ -621,12 +704,17 @@ OooCore::onStaDone(int slot)
         engine.storeOrSnoopAddr(st.op.effAddr);
 
     // Memory disambiguation: any younger load with a delivered value and an
-    // overlapping address violated ordering -> flush from that load.
-    int violPos = -1;
-    for (size_t i = 0; i < t.rob.size(); ++i) {
-        InFlight& ld = at(t.rob[i]);
-        if (ld.seq <= st.seq || !ld.op.isLoad())
-            continue;
+    // overlapping address violated ordering -> flush from that load. Only
+    // loads can match, and loadList is program-ordered, so binary-search to
+    // the first load younger than the store instead of walking the ROB.
+    auto seqOf = [this](int sid, SeqNum seq) { return at(sid).seq < seq; };
+    auto it = std::upper_bound(t.loadList.begin(), t.loadList.end(), st.seq,
+                               [this](SeqNum seq, int sid) {
+                                   return seq < at(sid).seq;
+                               });
+    int violSlot = -1;
+    for (; it != t.loadList.end(); ++it) {
+        InFlight& ld = at(*it);
         if (!ld.lbAddrValid || !ld.loadValueDelivered)
             continue;
         // Oracle eliminations are correct by construction (global-stable
@@ -635,7 +723,7 @@ OooCore::onStaDone(int slot)
         if (ld.idealEliminated)
             continue;
         if (overlaps(st.op.effAddr, st.op.size, ld.lbAddr, ld.op.size)) {
-            violPos = static_cast<int>(i);
+            violSlot = *it;
             ++orderingViolations;
             if (ld.eliminated) {
                 ++elimOrderingViolations;
@@ -645,9 +733,13 @@ OooCore::onStaDone(int slot)
             break;
         }
     }
-    if (violPos >= 0)
-        squashFrom(t, static_cast<size_t>(violPos),
+    if (violSlot >= 0) {
+        // The ROB is program-ordered too: recover the flush position by seq.
+        auto rit = std::lower_bound(t.rob.begin(), t.rob.end(),
+                                    at(violSlot).seq, seqOf);
+        squashFrom(t, static_cast<size_t>(rit - t.rob.begin()),
                    cfg.branchMispredictPenalty);
+    }
 
     completeOp(slot);
 }
@@ -655,7 +747,8 @@ OooCore::onStaDone(int slot)
 void
 OooCore::wakeConsumers(InFlight& e)
 {
-    for (const Ref& r : e.consumers) {
+    for (size_t i = 0; i < e.consumers.size(); ++i) {
+        const Ref r = e.consumers[i];
         if (!refValid(r))
             continue;
         InFlight& c = at(r.slot);
@@ -692,9 +785,14 @@ OooCore::completeOp(int slot)
             // and suppress the arm (unresolved ones are caught later by
             // the normal AMT probe at their STA).
             bool armBlocked = false;
-            for (int sid : t.storeList) {
-                InFlight& st2 = at(sid);
-                if (st2.seq > e.seq && st2.storeAddrResolved &&
+            auto sit = std::upper_bound(t.storeList.begin(),
+                                        t.storeList.end(), e.seq,
+                                        [this](SeqNum seq, int sid) {
+                                            return seq < at(sid).seq;
+                                        });
+            for (; sit != t.storeList.end(); ++sit) {
+                InFlight& st2 = at(*sit);
+                if (st2.storeAddrResolved &&
                     lineAddr(st2.op.effAddr) == lineAddr(e.op.effAddr)) {
                     armBlocked = true;
                     break;
@@ -796,11 +894,14 @@ OooCore::squashFrom(ThreadCtx& t, size_t rob_pos, Cycle restart_delay)
     }
     t.rob.resize(rob_pos);
 
-    // Rebuild the store list from surviving entries.
+    // Rebuild the store/load lists from surviving entries.
     t.storeList.clear();
+    t.loadList.clear();
     for (int s : t.rob) {
         if (at(s).op.isStore())
             t.storeList.push_back(s);
+        else if (at(s).op.isLoad())
+            t.loadList.push_back(s);
     }
 
     if (refValid(t.pendingBranch) && at(t.pendingBranch.slot).seq >= firstSeq)
@@ -883,7 +984,7 @@ OooCore::retireStage()
                     if (mech.rfp)
                         rfp.train(e.op.pc, e.op.effAddr);
                 }
-                bool gs = globalStable && globalStable->count(e.op.pc);
+                bool gs = e.isGsLoad;
                 if (gs)
                     ++gsLoadsRetired;
                 if (e.eliminated || e.idealEliminated) {
@@ -898,6 +999,8 @@ OooCore::retireStage()
                     ++loadsVpRetired;
                 }
                 --t.lbUsed;
+                if (!t.loadList.empty() && t.loadList.front() == s)
+                    t.loadList.pop_front();
             }
             if (e.op.isStore()) {
                 // Senior-store drain into the L1D.
@@ -931,18 +1034,136 @@ OooCore::retireStage()
 
 // -------------------------------------------------------------------- run
 
+/**
+ * Idle-cycle fast-forward: when the next cycle provably does nothing but
+ * bump per-cycle stall counters -- no event due, nothing ready to issue,
+ * nothing retirable, the rename stage stalled for a frozen reason -- jump
+ * `now` to just before the next cycle that can make progress (next
+ * populated wheel bucket or frontend-unblock point) and account the skipped
+ * cycles' counters in bulk. Every branch here mirrors what the skipped
+ * renameStage()/issueStage() iterations would have done, so RunResult stays
+ * bit-identical to the cycle-by-cycle loop (the golden snapshot test locks
+ * this).
+ */
+void
+OooCore::tryFastForward()
+{
+    for (const ReadyQueue& q : readyQ)
+        if (q.live > 0)
+            return; // issueStage would issue
+    for (const ThreadCtx& t : threads)
+        if (!t.rob.empty() && at(t.rob.front()).state == State::Done)
+            return; // retireStage would retire
+
+    unsigned d = nextEventDelay();
+    if (d == 1)
+        return; // events due next cycle
+    uint64_t target = d ? now + d : UINT64_MAX;
+    // A frontend-blocked thread wakes exactly at frontendBlockedUntil:
+    // rename-ability and pickThread() weights are frozen strictly before it.
+    for (const ThreadCtx& t : threads)
+        if (!t.done && t.frontendBlockedUntil > now)
+            target = std::min<uint64_t>(target, t.frontendBlockedUntil);
+    target = std::min<uint64_t>(target, cfg.maxCycles);
+    if (target <= now + 1)
+        return;
+
+    // Replicate the one rename attempt every skipped cycle would make (all
+    // inputs are frozen across the window, so one evaluation stands for k).
+    const Cycle c = now + 1;
+    unsigned tid = 0;
+    if (threads.size() > 1) {
+        auto weight = [&](const ThreadCtx& t) -> size_t {
+            if (t.done)
+                return SIZE_MAX;
+            if (c < t.frontendBlockedUntil || refValid(t.pendingBranch))
+                return SIZE_MAX - 1;
+            return t.rob.size();
+        };
+        tid = weight(threads[0]) <= weight(threads[1]) ? 0 : 1;
+    }
+    ThreadCtx& t = threads[tid];
+    bool pb = refValid(t.pendingBranch);
+    bool blocked = t.done || c < t.frontendBlockedUntil || pb;
+    uint64_t dFrontend = 0, dPendingBranch = 0, dRobFull = 0, dRsFull = 0;
+    uint64_t dLbFull = 0, dSbFull = 0, dSldRead = 0, dZero = 0;
+    if (blocked) {
+        // Wrong-path injection mutates the RMT/SLD every blocked cycle;
+        // those cycles cannot be batched.
+        if (pb && mech.constable.enabled && mech.constable.wrongPathUpdates &&
+            !t.recentOps.empty())
+            return;
+        if (!t.done) {
+            dFrontend = 1;
+            dPendingBranch = pb ? 1 : 0;
+        }
+    } else if (t.traceIdx >= t.trace->ops.size()) {
+        dZero = 1; // trace drained; renameOne returns without a stall stat
+    } else {
+        const MicroOp& op = t.trace->ops[t.traceIdx];
+        bool classRenameDone =
+            op.cls == OpClass::Nop || op.cls == OpClass::Jump ||
+            op.cls == OpClass::Move || op.cls == OpClass::ZeroIdiom ||
+            op.cls == OpClass::StackAdj;
+        if (t.rob.size() >= cfg.robPerThread()) {
+            dRobFull = dZero = 1;
+        } else if (!classRenameDone && rsUsed >= cfg.rsTotal()) {
+            dRsFull = dZero = 1;
+        } else if (op.isLoad() && t.lbUsed >= cfg.lbPerThread()) {
+            dLbFull = dZero = 1;
+        } else if (op.isStore() && t.sbUsed >= cfg.sbPerThread()) {
+            dSbFull = dZero = 1;
+        } else if (op.isLoad() && mech.constable.enabled &&
+                   engine.config().sld.readPorts == 0) {
+            dSldRead = dZero = 1;
+        } else if (freeSlots.empty()) {
+            dZero = 1;
+        } else {
+            return; // the next cycle would rename: real progress
+        }
+    }
+
+    uint64_t k = target - 1 - now;
+    stallFrontend += dFrontend * k;
+    stallPendingBranch += dPendingBranch * k;
+    stallRobFull += dRobFull * k;
+    stallRsFull += dRsFull * k;
+    stallLbFull += dLbFull * k;
+    stallSbFull += dSbFull * k;
+    renameStallsSldRead += dSldRead * k;
+    renameZeroCycles += dZero * k;
+    if (mech.constable.enabled) {
+        sldUpdateHist.add(0, k);
+        sldUpdateCycles += k;
+    }
+    // issueStage token replenish saturates monotonically: k steps == one.
+    loadTokens = static_cast<unsigned>(
+        std::min<uint64_t>(loadTokens + k * cfg.loadPorts,
+                           2 * cfg.loadPorts));
+    now = target - 1;
+}
+
 RunResult
 OooCore::run()
 {
     bool allDone = false;
     while (!allDone && now < cfg.maxCycles) {
+        tryFastForward();
         ++now;
         auto& events = wheel[now % kWheelSize];
         if (!events.empty()) {
-            std::vector<Event> todo;
-            todo.swap(events);
-            for (const Event& ev : todo)
+            // Recycled slab: drain in place (schedule() can never target
+            // the live bucket -- delays are clamped to [1, kWheelSize-1])
+            // and clear() keeps the capacity for the next lap.
+            size_t n = events.size();
+            pendingEvents -= n;
+            unsigned idx = static_cast<unsigned>(now % kWheelSize);
+            wheelOccupied[idx / 64] &= ~(1ull << (idx % 64));
+            for (size_t i = 0; i < n; ++i) {
+                Event ev = events[i];
                 handleEvent(ev.slot, ev.gen, ev.kind);
+            }
+            events.clear();
         }
         checkBlockedLoads();
         retireStage();

@@ -18,11 +18,12 @@
 
 #include <array>
 #include <deque>
-#include <set>
+#include <type_traits>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
+#include "common/small_vec.hh"
 #include "common/stats.hh"
 #include "cpu/config.hh"
 #include "mem/directory.hh"
@@ -70,6 +71,10 @@ class OooCore
     /** Run to completion of all trace contexts. */
     RunResult run();
 
+    /** Event-wheel span: the farthest ahead an event can be scheduled
+     *  (longer delays clamp to kWheelSize - 1). */
+    static constexpr unsigned kWheelSize = 2048;
+
   private:
     // ------------------------------------------------------------ types
     enum class State : uint8_t {
@@ -91,7 +96,13 @@ class OooCore
         uint64_t gen = 0;
     };
 
-    struct InFlight
+    /**
+     * Trivially-copyable part of an in-flight op: slot recycling resets it
+     * with one aggregate assignment (memset-class code) instead of running
+     * member-wise constructors, and keeps the consumer list's storage alive
+     * across generations.
+     */
+    struct InFlightState
     {
         MicroOp op;
         uint64_t gen = 0;
@@ -116,6 +127,9 @@ class OooCore
         bool evesTracked = false;       ///< counted in E-Stride inflight
         bool xprfHeld = false;          ///< owns an xPRF register
         bool rfpPredicted = false;
+        bool isGsLoad = false;          ///< PC in the global-stable set
+                                        ///< (cached at rename; the set is
+                                        ///< immutable during a run)
         PC fwdFromStorePc = 0;          ///< actual forwarding store (MRN train)
 
         Addr lbAddr = 0;
@@ -125,11 +139,19 @@ class OooCore
         bool loadValueDelivered = false; ///< disambiguation "completed" bit
 
         unsigned pendingSrcs = 0;
-        std::vector<Ref> consumers;
         uint8_t dstReg = kNoReg;
         Ref prevWriter;                 ///< rename-map checkpoint for squash
         Ref blockingStore;              ///< MDP wait target
         Cycle readyAt = 0;
+    };
+    static_assert(std::is_trivially_copyable_v<InFlightState>,
+                  "slot recycling relies on aggregate reset");
+
+    struct InFlight : InFlightState
+    {
+        /** Dependent ops woken at completion; inline for the common fan-out,
+         *  spill storage retained across slot reuse. */
+        SmallVec<Ref, 4> consumers;
     };
 
     struct ThreadCtx
@@ -140,6 +162,9 @@ class OooCore
         SeqNum nextSeq = 0;
         std::deque<int> rob;            ///< slot ids in program order
         std::deque<int> storeList;      ///< in-flight stores, program order
+        std::deque<int> loadList;       ///< in-flight loads, program order
+                                        ///< (disambiguation scans loads
+                                        ///< only, not the whole ROB)
         std::array<Ref, kMaxArchRegs> renameMap;
         unsigned lbUsed = 0;
         unsigned sbUsed = 0;
@@ -177,6 +202,9 @@ class OooCore
     void schedule(int slot, EventKind kind, unsigned delay);
     void addReady(int slot);
     void removeReady(int slot);
+    int popReady(unsigned port);
+    unsigned nextEventDelay() const;
+    void tryFastForward();
     PortType portOf(const InFlight& e) const;
     unsigned pickThread() const;
     bool overlaps(Addr a1, unsigned s1, Addr a2, unsigned s2) const;
@@ -205,22 +233,49 @@ class OooCore
     unsigned rsUsed = 0;
     Cycle now = 0;
 
-    /** Ready queues per port type, ordered by (tid, seq) age. */
-    std::set<std::pair<uint64_t, int>> readyQ[4];
+    /**
+     * Per-port ready queue: a binary min-heap over allocation generation
+     * (gens are unique and monotonically increasing, so min-gen order is
+     * exactly the (tid, seq) age order the old red-black tree gave).
+     * Squash does not search the heap; it just drops the live count and
+     * leaves a stale entry behind that popReady() discards when it surfaces
+     * (lazy invalidation). push/pop are allocation-free once the backing
+     * vector has warmed.
+     */
+    struct ReadyEntry
+    {
+        uint64_t gen;
+        int slot;
+    };
+    struct ReadyQueue
+    {
+        std::vector<ReadyEntry> heap;
+        size_t live = 0;        ///< non-stale entries (idle-skip gate)
+    };
+    ReadyQueue readyQ[4];
+    /** Ready (state Ready, not yet issued) loads whose PC is NOT in the
+     *  global-stable set: makes the Fig 6b "is a non-GS load waiting?"
+     *  check O(1) instead of a queue scan per GS-load-issue cycle. */
+    uint64_t readyNonGsLoads = 0;
     std::vector<Ref> blockedLoads;
     /** Load-issue token bucket: loadPorts tokens arrive per cycle, each
      *  issued load costs loadPortOccupancy tokens (sustained bandwidth
      *  loadPorts / occupancy, age-fair across cycles). */
     unsigned loadTokens = 0;
 
-    static constexpr unsigned kWheelSize = 2048;
     struct Event
     {
         int slot;
         uint64_t gen;
         EventKind kind;
     };
-    std::vector<std::vector<Event>> wheel { kWheelSize };
+    /** Flat event wheel: one recycled slab per future cycle (clear() keeps
+     *  capacity, so steady state schedules without allocating), plus an
+     *  occupancy bitmap so the idle-cycle fast-forward finds the next
+     *  populated bucket with a handful of word scans. */
+    std::array<std::vector<Event>, kWheelSize> wheel;
+    std::array<uint64_t, kWheelSize / 64> wheelOccupied {};
+    uint64_t pendingEvents = 0;
 
     // ---------------------------------------------------------- statistics
     StatSet stats;

@@ -72,13 +72,15 @@ class Cache
     uint64_t evictions = 0;
 
   private:
+    /** Packed to 24 bytes: the tag array is value-initialized per run and
+     *  scanned way-by-way, so line size is both memset and probe cost. */
     struct Line
     {
         Addr tag = 0;
-        bool valid = false;
-        bool dirty = false;
         uint64_t lru = 0;     ///< recency stamp (LRU)
         uint8_t rrpv = 3;     ///< re-reference prediction value (RRIP)
+        bool valid = false;
+        bool dirty = false;
     };
 
     unsigned setIndex(Addr line) const { return line & (sets - 1); }

@@ -6,12 +6,6 @@ StoreSets::StoreSets(unsigned entries) : table(entries)
 {
 }
 
-Ssid
-StoreSets::lookup(PC pc) const
-{
-    return table[index(pc)].ssid;
-}
-
 void
 StoreSets::merge(PC load_pc, PC store_pc)
 {

@@ -26,8 +26,9 @@ class StoreSets
   public:
     explicit StoreSets(unsigned entries = 4096);
 
-    /** Store set of a PC (load or store); kInvalidSsid if none. */
-    Ssid lookup(PC pc) const;
+    /** Store set of a PC (load or store); kInvalidSsid if none. Inline:
+     *  the load-AGU disambiguation scan calls this per in-flight store. */
+    Ssid lookup(PC pc) const { return table[index(pc)].ssid; }
 
     /** Record an ordering violation between a load and a store. */
     void merge(PC load_pc, PC store_pc);

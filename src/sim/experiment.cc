@@ -55,11 +55,16 @@ printUsage(const char* prog, int exit_code)
         "load)\n"
         "  --checkpoint-dir=PATH  per-cell checkpoints; interrupted sweeps "
         "resume\n"
+        "  --trace-cache-max-mb=N       LRU-trim the trace cache to N MB "
+        "(0 = off)\n"
+        "  --trace-cache-max-age-days=N drop cache entries older than N "
+        "days (0 = off)\n"
         "  --help              this text\n"
         "Environment: CONSTABLE_THREADS, CONSTABLE_SEED, "
         "CONSTABLE_TRACE_OPS,\nCONSTABLE_SUITE_LIMIT, CONSTABLE_TRACE_DIR, "
-        "CONSTABLE_CHECKPOINT_DIR\n(strict-parsed; CLI flags override "
-        "env).\n",
+        "CONSTABLE_CHECKPOINT_DIR,\nCONSTABLE_TRACE_CACHE_MAX_MB, "
+        "CONSTABLE_TRACE_CACHE_MAX_AGE_DAYS\n(strict-parsed; CLI flags "
+        "override env).\n",
         prog);
     std::exit(exit_code);
 }
@@ -88,6 +93,10 @@ ExperimentOptions::fromEnv()
         opts.traceDir = *v;
     if (auto v = envStr("CONSTABLE_CHECKPOINT_DIR"))
         opts.checkpointDir = *v;
+    if (auto v = envU64("CONSTABLE_TRACE_CACHE_MAX_MB"))
+        opts.traceCacheMaxMB = *v;
+    if (auto v = envU64("CONSTABLE_TRACE_CACHE_MAX_AGE_DAYS"))
+        opts.traceCacheMaxAgeDays = *v;
     return opts;
 }
 
@@ -136,6 +145,10 @@ ExperimentOptions::fromArgs(int argc, char** argv)
             opts.traceDir = val();
         } else if (flag == "--checkpoint-dir") {
             opts.checkpointDir = val();
+        } else if (flag == "--trace-cache-max-mb") {
+            opts.traceCacheMaxMB = parseU64Strict(flag, val());
+        } else if (flag == "--trace-cache-max-age-days") {
+            opts.traceCacheMaxAgeDays = parseU64Strict(flag, val());
         } else {
             std::fprintf(stderr, "unknown argument '%s'\n", arg.c_str());
             printUsage(prog, 1);
@@ -180,6 +193,15 @@ Suite::fromSpecs(std::vector<WorkloadSpec> specs,
         if (!dir.empty()) {
             std::string path = traceCachePath(dir, e.spec);
             e.fromCache = loadTrace(path, e.trace);
+            if (e.fromCache && (opts.traceCacheMaxMB != 0 ||
+                                opts.traceCacheMaxAgeDays != 0)) {
+                // LRU trimming ranks by mtime, which plain reads never
+                // advance: touch hits so live entries stay newest.
+                std::error_code tec;
+                std::filesystem::last_write_time(
+                    path, std::filesystem::file_time_type::clock::now(),
+                    tec);
+            }
             if (!e.fromCache) {
                 // Missing, corrupt or stale-format: regenerate and refresh
                 // the cache entry (atomic write, safe under concurrency).
@@ -197,6 +219,14 @@ Suite::fromSpecs(std::vector<WorkloadSpec> specs,
     }, opts.batch());
     for (const Entry& e : s.entries_)
         (e.fromCache ? s.cacheHits_ : s.cacheMisses_)++;
+    if (!dir.empty()) {
+        // Opt-in retention: runs after preparation, so entries this suite
+        // just wrote or refreshed are the newest and survive the LRU pass.
+        TraceCacheTrimPolicy trim;
+        trim.maxBytes = opts.traceCacheMaxMB * 1024 * 1024;
+        trim.maxAgeSeconds = opts.traceCacheMaxAgeDays * 24 * 3600;
+        trimTraceCache(dir, trim);
+    }
     return s;
 }
 

@@ -51,6 +51,12 @@ struct ExperimentOptions
     std::string traceDir;
     /** Per-cell checkpoint directory; empty disables checkpointing. */
     std::string checkpointDir;
+    /** Trace-cache size cap in MB; 0 (default) disables size trimming.
+     *  Applied to traceDir after suite preparation (LRU by mtime). */
+    uint64_t traceCacheMaxMB = 0;
+    /** Trace-cache entry age cap in days; 0 (default) disables age
+     *  trimming. */
+    uint64_t traceCacheMaxAgeDays = 0;
 
     /** All knobs from CONSTABLE_* env vars (strict: malformed -> fatal). */
     static ExperimentOptions fromEnv();

@@ -2,10 +2,22 @@
 
 #include <unistd.h>
 
+#include <algorithm>
 #include <bit>
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <system_error>
+
+// mmap-backed trace loads: map the cache file instead of slurping it into a
+// heap buffer (saves a full copy + allocation per warm-suite trace load).
+// Platforms without POSIX mmap use the plain read path below.
+#if defined(__unix__) || defined(__APPLE__)
+#define CONSTABLE_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#endif
 
 namespace constable {
 
@@ -136,15 +148,15 @@ class ByteReader
 
 /** Split payload from trailing checksum and verify it. */
 bool
-checkedPayload(const std::vector<uint8_t>& bytes, size_t& payload_len)
+checkedPayload(const uint8_t* bytes, size_t n, size_t& payload_len)
 {
-    if (bytes.size() < 8)
+    if (n < 8)
         return false;
-    payload_len = bytes.size() - 8;
-    ByteReader tail(bytes.data() + payload_len, 8);
+    payload_len = n - 8;
+    ByteReader tail(bytes + payload_len, 8);
     uint64_t want;
     tail.u64(want);
-    return fnv1a(bytes.data(), payload_len) == want;
+    return fnv1a(bytes, payload_len) == want;
 }
 
 bool
@@ -285,12 +297,12 @@ serializeTrace(const Trace& t)
 }
 
 bool
-deserializeTrace(const std::vector<uint8_t>& bytes, Trace& out)
+deserializeTrace(const uint8_t* bytes, size_t n, Trace& out)
 {
     size_t payload;
-    if (!checkedPayload(bytes, payload))
+    if (!checkedPayload(bytes, n, payload))
         return false;
-    ByteReader r(bytes.data(), payload);
+    ByteReader r(bytes, payload);
     uint32_t magic, version;
     if (!r.u32(magic) || magic != kTraceMagic || !r.u32(version) ||
         version != kSerializeVersion)
@@ -323,6 +335,12 @@ deserializeTrace(const std::vector<uint8_t>& bytes, Trace& out)
 }
 
 bool
+deserializeTrace(const std::vector<uint8_t>& bytes, Trace& out)
+{
+    return deserializeTrace(bytes.data(), bytes.size(), out);
+}
+
+bool
 saveTrace(const std::string& path, const Trace& t)
 {
     return writeFileAtomic(path, serializeTrace(t));
@@ -331,6 +349,27 @@ saveTrace(const std::string& path, const Trace& t)
 bool
 loadTrace(const std::string& path, Trace& out)
 {
+#ifdef CONSTABLE_HAVE_MMAP
+    // Fast path: decode straight out of a read-only mapping. Any failure
+    // (open, stat, empty file, mmap) falls back to the buffered read below
+    // rather than reporting an error of its own.
+    int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd >= 0) {
+        struct stat st;
+        if (::fstat(fd, &st) == 0 && st.st_size > 0) {
+            size_t n = static_cast<size_t>(st.st_size);
+            void* map = ::mmap(nullptr, n, PROT_READ, MAP_PRIVATE, fd, 0);
+            if (map != MAP_FAILED) {
+                bool ok = deserializeTrace(
+                    static_cast<const uint8_t*>(map), n, out);
+                ::munmap(map, n);
+                ::close(fd);
+                return ok;
+            }
+        }
+        ::close(fd);
+    }
+#endif
     std::vector<uint8_t> bytes;
     return readFile(path, bytes) && deserializeTrace(bytes, out);
 }
@@ -365,7 +404,7 @@ bool
 deserializeRunResult(const std::vector<uint8_t>& bytes, RunResult& out)
 {
     size_t payload;
-    if (!checkedPayload(bytes, payload))
+    if (!checkedPayload(bytes.data(), bytes.size(), payload))
         return false;
     ByteReader r(bytes.data(), payload);
     uint32_t magic, version;
@@ -475,6 +514,86 @@ traceCachePath(const std::string& dir, const WorkloadSpec& spec)
     std::snprintf(hex, sizeof(hex), "%016llx",
                   static_cast<unsigned long long>(specHash(spec)));
     return dir + "/" + name + "-" + hex + ".trace";
+}
+
+// ---------------------------------------------------------------- cache trim
+
+size_t
+trimTraceCache(const std::string& dir, const TraceCacheTrimPolicy& policy)
+{
+    namespace fs = std::filesystem;
+    if (!policy.enabled())
+        return 0;
+    std::error_code ec;
+    if (!fs::is_directory(dir, ec) || ec)
+        return 0;
+
+    struct CacheFile
+    {
+        fs::path path;
+        uint64_t size = 0;
+        fs::file_time_type mtime;
+    };
+    std::vector<CacheFile> files;
+    uint64_t totalBytes = 0;
+    for (const auto& entry : fs::directory_iterator(dir, ec)) {
+        if (ec)
+            return 0;
+        if (!entry.is_regular_file(ec) ||
+            entry.path().extension() != ".trace")
+            continue;
+        CacheFile f;
+        f.path = entry.path();
+        f.size = entry.file_size(ec);
+        if (ec)
+            continue;
+        f.mtime = entry.last_write_time(ec);
+        if (ec)
+            continue;
+        totalBytes += f.size;
+        files.push_back(std::move(f));
+    }
+
+    size_t deleted = 0;
+    auto remove = [&](const CacheFile& f) {
+        std::error_code rec;
+        if (fs::remove(f.path, rec) && !rec) {
+            totalBytes -= f.size;
+            ++deleted;
+            return true;
+        }
+        return false;
+    };
+
+    // Age cap: anything older than maxAgeSeconds goes, regardless of size.
+    if (policy.maxAgeSeconds != 0) {
+        auto cutoff = fs::file_time_type::clock::now() -
+                      std::chrono::seconds(policy.maxAgeSeconds);
+        std::vector<CacheFile> kept;
+        kept.reserve(files.size());
+        for (CacheFile& f : files) {
+            if (f.mtime < cutoff)
+                remove(f);
+            else
+                kept.push_back(std::move(f));
+        }
+        files = std::move(kept);
+    }
+
+    // Size cap: evict least-recently-modified first (the generate-or-load
+    // path rewrites entries it regenerates, so mtime tracks usefulness).
+    if (policy.maxBytes != 0 && totalBytes > policy.maxBytes) {
+        std::sort(files.begin(), files.end(),
+                  [](const CacheFile& a, const CacheFile& b) {
+                      return a.mtime < b.mtime;
+                  });
+        for (const CacheFile& f : files) {
+            if (totalBytes <= policy.maxBytes)
+                break;
+            remove(f);
+        }
+    }
+    return deleted;
 }
 
 } // namespace constable

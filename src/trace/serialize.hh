@@ -36,11 +36,17 @@ std::vector<uint8_t> serializeTrace(const Trace& t);
  *  corruption, truncation, or version mismatch. */
 bool deserializeTrace(const std::vector<uint8_t>& bytes, Trace& out);
 
+/** Decode from raw bytes (e.g. an mmap view) without an owning buffer. */
+bool deserializeTrace(const uint8_t* bytes, size_t n, Trace& out);
+
 /** Write atomically (tmp file + rename), so readers never observe a
  *  half-written cache entry. Returns false on I/O failure. */
 bool saveTrace(const std::string& path, const Trace& t);
 
-/** Load and verify; false on missing/corrupt/truncated/mismatched files. */
+/** Load and verify; false on missing/corrupt/truncated/mismatched files.
+ *  Decodes from an mmap view of the file where the platform supports it
+ *  (no intermediate whole-file heap buffer), falling back to a buffered
+ *  read otherwise. */
 bool loadTrace(const std::string& path, Trace& out);
 
 // -------------------------------------------------------------- run results
@@ -82,6 +88,32 @@ uint64_t specHash(const WorkloadSpec& spec);
 /** Cache file path for a spec under a cache directory:
  *  <dir>/<sanitized name>-<16-hex specHash>.trace */
 std::string traceCachePath(const std::string& dir, const WorkloadSpec& spec);
+
+// -------------------------------------------------------------- cache trim
+
+/**
+ * Age/LRU retention policy for a trace-cache directory. Both caps default
+ * to 0 = unlimited, so trimming is strictly opt-in (long-lived CI cache
+ * dirs set CONSTABLE_TRACE_CACHE_MAX_MB / _MAX_AGE_DAYS; see
+ * ExperimentOptions).
+ */
+struct TraceCacheTrimPolicy
+{
+    uint64_t maxBytes = 0;      ///< total *.trace size cap; 0 = uncapped
+    uint64_t maxAgeSeconds = 0; ///< per-file age cap; 0 = uncapped
+
+    bool enabled() const { return maxBytes != 0 || maxAgeSeconds != 0; }
+};
+
+/**
+ * Enforce a trim policy over the *.trace files of a cache directory:
+ * first drop entries older than maxAgeSeconds, then drop
+ * least-recently-modified entries until the directory fits maxBytes.
+ * Non-trace files are never touched; a missing directory is a no-op.
+ * @return number of files deleted.
+ */
+size_t trimTraceCache(const std::string& dir,
+                      const TraceCacheTrimPolicy& policy);
 
 } // namespace constable
 

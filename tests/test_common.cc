@@ -97,11 +97,10 @@ TEST(Stats, HistogramWeights)
     EXPECT_EQ(h.bucketCount(0), 3u);
 }
 
-TEST(Stats, StatSetIncGetMerge)
+TEST(Stats, StatSetGetMerge)
 {
     StatSet a;
-    a.inc("x");
-    a.inc("x", 2);
+    a.set("x", 3);
     EXPECT_DOUBLE_EQ(a.get("x"), 3.0);
     EXPECT_DOUBLE_EQ(a.get("missing"), 0.0);
     EXPECT_FALSE(a.has("missing"));

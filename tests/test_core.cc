@@ -355,5 +355,52 @@ TEST(Runner, PresetsSelectMechanisms)
     EXPECT_EQ(ideal.ideal.stablePcs.size(), 1u);
 }
 
+// ------------------------------------------------- idle-cycle fast-forward
+
+/** One long-latency op over an otherwise drained pipeline: the completion
+ *  event is the only thing in the machine, so the idle-cycle fast-forward
+ *  must jump the intervening window and land cycle-exactly on it. */
+static RunResult
+runWithDivLatency(unsigned div_lat)
+{
+    ProgramBuilder b(1, 16);
+    b.loadImm(0x100, RAX, 6);
+    b.div(0x104, RCX, RAX, RAX);
+    b.alu(0x108, RDX, RCX);
+    Trace t = b.finish("wheel-edge", "Test");
+    CoreConfig cfg;
+    cfg.divLat = div_lat;
+    return runTrace(t, { cfg, baselineMech() });
+}
+
+TEST(FastForward, EventAtWheelBoundaryIsCycleExact)
+{
+    // kWheelSize-1 is the farthest an event can sit in the wheel: the skip
+    // window and the occupancy-bitmap search both wrap exactly here.
+    RunResult atEdge = runWithDivLatency(OooCore::kWheelSize - 1);
+    RunResult oneLess = runWithDivLatency(OooCore::kWheelSize - 2);
+    EXPECT_EQ(atEdge.cycles, oneLess.cycles + 1);
+    EXPECT_EQ(atEdge.instructions, oneLess.instructions);
+}
+
+TEST(FastForward, DelaysBeyondTheWheelClampToItsEdge)
+{
+    RunResult atEdge = runWithDivLatency(OooCore::kWheelSize - 1);
+    RunResult clamped = runWithDivLatency(OooCore::kWheelSize + 500);
+    EXPECT_EQ(clamped.cycles, atEdge.cycles);
+}
+
+TEST(FastForward, SkippedWindowsKeepStallAccountingExact)
+{
+    // Every cycle of the idle window renames nothing; the bulk-accounted
+    // renameZero counter must cover the whole run minus the active cycles,
+    // exactly as the cycle-by-cycle loop would.
+    RunResult r = runWithDivLatency(OooCore::kWheelSize - 1);
+    EXPECT_GE(r.stats.get("stall.renameZero"),
+              static_cast<double>(OooCore::kWheelSize) - 64);
+    EXPECT_EQ(r.stats.get("cycles"),
+              static_cast<double>(r.cycles));
+}
+
 } // namespace
 } // namespace constable

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Golden-stats snapshot over every evaluated mechanism preset.
+ *
+ * Each fingerprint hashes the full serialized RunResult (cycles,
+ * instructions, golden-check state and the complete StatSet) of a fixed
+ * deterministic mini-suite, so ANY behavioural drift in the core --
+ * scheduling order, event timing, stat accounting -- flips a hash. The
+ * expected values below were captured before the allocation-free
+ * scheduling-structure overhaul of the simulation inner loop and prove the
+ * rebuilt core is bit-identical to the red-black-tree/per-cycle-alloc one.
+ *
+ * If a deliberate model change invalidates them, re-run this test and paste
+ * the printed actual values (every mismatch logs its preset name).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "sim/experiment.hh"
+#include "sim/runner.hh"
+#include "trace/serialize.hh"
+
+namespace constable {
+namespace {
+
+/** Pinned options: independent of CONSTABLE_* env so the fingerprints are
+ *  stable no matter how the test binary is invoked. */
+ExperimentOptions
+snapshotOpts()
+{
+    ExperimentOptions opts;
+    opts.threads = 1;
+    opts.seed = 0x5eed5eedull;
+    opts.traceOps = 2000;
+    opts.suiteLimit = 4;
+    opts.traceDir.clear();
+    opts.checkpointDir.clear();
+    return opts;
+}
+
+struct PresetCase
+{
+    const char* name;
+    const char* expected; ///< 16-hex-digit fingerprint
+};
+
+/** The 16 evaluated mechanism presets (§8.4 plus the Fig 7 oracles, the
+ *  Fig 13 addressing-mode filters and the Fig 22 AMT-I variant). */
+MechanismConfig
+presetMech(size_t i, const std::unordered_set<PC>& gs)
+{
+    switch (i) {
+      case 0: return baselineMech();
+      case 1: return constableMech();
+      case 2: return evesMech();
+      case 3: return evesPlusConstableMech();
+      case 4: return elarMech();
+      case 5: return rfpMech();
+      case 6: return elarPlusConstableMech();
+      case 7: return rfpPlusConstableMech();
+      case 8: return constableModeOnlyMech(AddrMode::PcRel);
+      case 9: return constableModeOnlyMech(AddrMode::StackRel);
+      case 10: return constableModeOnlyMech(AddrMode::RegRel);
+      case 11: return constableAmtIMech();
+      case 12: return idealMech(IdealMode::StableLvp, gs);
+      case 13: return idealMech(IdealMode::StableLvpNoFetch, gs);
+      case 14: return idealMech(IdealMode::Constable, gs);
+      case 15: return evesPlusIdealConstableMech(gs);
+    }
+    ADD_FAILURE() << "unknown preset " << i;
+    return baselineMech();
+}
+
+std::string
+hex16(uint64_t v)
+{
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(v));
+    return buf;
+}
+
+TEST(GoldenSnapshot, NoSmtPresetsBitIdentical)
+{
+    const PresetCase kCases[16] = {
+        { "baseline", "2c2c513ee217b659" },
+        { "constable", "a066e75f1345cea2" },
+        { "eves", "7ba233650af92ce5" },
+        { "eves+constable", "e53d9422417ce9e4" },
+        { "elar", "a60ae0b8afc9f498" },
+        { "rfp", "53576a47c3ffb152" },
+        { "elar+constable", "c34ca1ce318531ff" },
+        { "rfp+constable", "41aebdb3235b0839" },
+        { "constable-pcrel", "9782e9d45cac3fb6" },
+        { "constable-stackrel", "4e45b750c288f7da" },
+        { "constable-regrel", "f18d4f47e6dde2ae" },
+        { "constable-amt-i", "a066e75f1345cea2" },
+        { "ideal-stable-lvp", "e0d5b5079882d932" },
+        { "ideal-stable-lvp-nofetch", "2e9513580076ea28" },
+        { "ideal-constable", "5b2f6d1adf9b1214" },
+        { "eves+ideal-constable", "5b2f6d1adf9b1214" },
+    };
+
+    Suite suite = Suite::prepare(snapshotOpts(), true);
+    ASSERT_EQ(suite.size(), 4u);
+
+    for (size_t p = 0; p < 16; ++p) {
+        // One fingerprint per preset over every suite row: chain the FNV
+        // hashes of each row's serialized RunResult.
+        uint64_t fp = 0xcbf29ce484222325ull;
+        for (size_t row = 0; row < suite.size(); ++row) {
+            const auto& gs = suite.globalStablePcs(row);
+            SystemConfig cfg { CoreConfig{}, presetMech(p, gs) };
+            RunResult r = runTrace(suite.trace(row), cfg, &gs);
+            EXPECT_FALSE(r.goldenCheckFailed)
+                << kCases[p].name << ": " << r.goldenCheckMessage;
+            auto bytes = serializeRunResult(r);
+            fp ^= fnv1a(bytes.data(), bytes.size());
+            fp *= 0x100000001b3ull;
+        }
+        EXPECT_EQ(kCases[p].expected, hex16(fp)) << kCases[p].name;
+    }
+}
+
+TEST(GoldenSnapshot, Smt2PresetsBitIdentical)
+{
+    const PresetCase kCases[2] = {
+        { "smt2-baseline", "0f180dc1341b5034" },
+        { "smt2-constable", "0dd46e32890ab99a" },
+    };
+
+    Suite suite = Suite::prepare(snapshotOpts(), true);
+    auto pairs = suite.smtTracePairs();
+    ASSERT_FALSE(pairs.empty());
+
+    for (size_t p = 0; p < 2; ++p) {
+        uint64_t fp = 0xcbf29ce484222325ull;
+        for (const auto& [t0, t1] : pairs) {
+            SystemConfig cfg { CoreConfig{},
+                               p == 0 ? baselineMech() : constableMech() };
+            cfg.core.smt2 = true;
+            RunResult r = runSmtPair(*t0, *t1, cfg);
+            EXPECT_FALSE(r.goldenCheckFailed)
+                << kCases[p].name << ": " << r.goldenCheckMessage;
+            auto bytes = serializeRunResult(r);
+            fp ^= fnv1a(bytes.data(), bytes.size());
+            fp *= 0x100000001b3ull;
+        }
+        EXPECT_EQ(kCases[p].expected, hex16(fp)) << kCases[p].name;
+    }
+}
+
+} // namespace
+} // namespace constable
