@@ -31,6 +31,11 @@ main(int argc, char** argv)
                    .add("eves+const", evesPlusConstableMech())
                    .run();
 
+    // Sharded fleets: every worker computed (and merged) the full
+    // matrix above; only the reporting shard prints it.
+    if (!opts.printsReport())
+        return 0;
+
     auto se = res.speedups("eves", "baseline");
     auto sc = res.speedups("constable", "baseline");
     auto sb = res.speedups("eves+const", "baseline");

@@ -29,6 +29,11 @@ main(int argc, char** argv)
                    .add("eves+const", evesPlusConstableMech())
                    .runSmt();
 
+    // Sharded fleets: every worker computed (and merged) the full
+    // matrix above; only the reporting shard prints it.
+    if (!opts.printsReport())
+        return 0;
+
     std::printf("Fig 14: SMT2 speedup over baseline, 45 pairs "
                 "(paper: EVES 1.036, Constable 1.088, E+C 1.113)\n");
     std::printf("%-14s%12s\n", "config", "GEOMEAN");

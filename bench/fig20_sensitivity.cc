@@ -33,6 +33,20 @@ main(int argc, char** argv)
     }
     auto wres = width.run();
 
+    Experiment depth("fig20b-depth", suite, opts);
+    for (unsigned d = 1; d <= 4; ++d) {
+        CoreConfig core;
+        core.depthScale = static_cast<double>(d);
+        depth.add("base-d" + std::to_string(d), baselineMech(), core);
+        depth.add("const-d" + std::to_string(d), constableMech(), core);
+    }
+    auto dres = depth.run();
+
+    // Sharded fleets: the gate sits after BOTH sweeps so a non-reporting
+    // shard still contributes cells to each of them.
+    if (!opts.printsReport())
+        return 0;
+
     std::printf("Fig 20(a): load execution width sweep "
                 "(speedup over width-3 baseline)\n");
     std::printf("%8s%12s%12s\n", "width", "baseline", "constable");
@@ -42,15 +56,6 @@ main(int argc, char** argv)
                     geomean(wres.speedups("base-w" + ws, "base-w3")),
                     geomean(wres.speedups("const-w" + ws, "base-w3")));
     }
-
-    Experiment depth("fig20b-depth", suite, opts);
-    for (unsigned d = 1; d <= 4; ++d) {
-        CoreConfig core;
-        core.depthScale = static_cast<double>(d);
-        depth.add("base-d" + std::to_string(d), baselineMech(), core);
-        depth.add("const-d" + std::to_string(d), constableMech(), core);
-    }
-    auto dres = depth.run();
 
     std::printf("\nFig 20(b): pipeline depth sweep "
                 "(speedup over 1x baseline)\n");

@@ -23,6 +23,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/logging.hh"
@@ -38,6 +39,9 @@ struct PerfFlags
     std::string checkAgainst;
     double maxRegression = 0.25;
     unsigned repeats = 1;
+    /** > 1: also time the combined preset sweep serially vs forked across
+     *  this many worker processes and record the scaling. */
+    unsigned shardScaling = 0;
 };
 
 struct PresetTiming
@@ -127,6 +131,9 @@ perfMain(int argc, char** argv)
                 std::strtoul(valueOf(arg, i).c_str(), nullptr, 10));
             if (flags.repeats == 0)
                 fatal("--repeats must be >= 1");
+        } else if (flag == "--shard-scaling") {
+            flags.shardScaling = static_cast<unsigned>(
+                std::strtoul(valueOf(arg, i).c_str(), nullptr, 10));
         } else {
             if (flag == "--help" || flag == "-h") {
                 std::printf(
@@ -138,7 +145,10 @@ perfMain(int argc, char** argv)
                     "  --max-regression=F     allowed fractional slowdown "
                     "(default 0.25)\n"
                     "  --repeats=N            timed repeats, best-of "
-                    "(default 1)\n");
+                    "(default 1)\n"
+                    "  --shard-scaling=N      also time the preset sweep "
+                    "1-process vs N forked\n                         "
+                    "workers and record the speedup\n");
             }
             rest.push_back(argv[i]);
         }
@@ -209,6 +219,50 @@ perfMain(int argc, char** argv)
                 totalSecs, totalMops,
                 static_cast<unsigned long long>(determinism));
 
+    // ------------------------------------------------ multi-process scaling
+    // Times the combined preset sweep once serially and once forked across
+    // N single-threaded worker processes (sim/shard.hh), verifying the
+    // results agree, so the perf trajectory records what each shard buys.
+    double scaleSerialSecs = 0.0, scaleShardedSecs = 0.0;
+    if (flags.shardScaling > 1) {
+        auto combined = [&](const ExperimentOptions& o) {
+            Experiment exp("perf_shard_scaling", suite, o);
+            for (const auto& [name, mech] : presets)
+                exp.add(name, mech);
+            return exp.run();
+        };
+        ExperimentOptions serial = opts;
+        serial.threads = 1;
+        serial.shards = 1;
+        auto t0 = std::chrono::steady_clock::now();
+        ExperimentResult sref = combined(serial);
+        scaleSerialSecs = secondsSince(t0);
+
+        ExperimentOptions sharded = opts;
+        sharded.threads = 1; // processes, not threads, carry the fan-out
+        sharded.shards = flags.shardScaling;
+        t0 = std::chrono::steady_clock::now();
+        ExperimentResult sres = combined(sharded);
+        scaleShardedSecs = secondsSince(t0);
+
+        if (sres.totalCycles() != sref.totalCycles())
+            fatal("sharded sweep diverged from the serial reference");
+        std::printf("shard scaling      %u procs: %6.3fs vs %6.3fs serial "
+                    "(%.2fx)\n",
+                    flags.shardScaling, scaleShardedSecs, scaleSerialSecs,
+                    scaleShardedSecs > 0.0
+                        ? scaleSerialSecs / scaleShardedSecs
+                        : 0.0);
+        unsigned cpus = std::thread::hardware_concurrency();
+        if (cpus != 0 && cpus < flags.shardScaling) {
+            std::printf("  (note: only %u CPU%s visible — CPU-bound cells "
+                        "cannot speed up past that;\n   see the "
+                        "sleep-cell scaling assertion in tests/"
+                        "test_shard.cc for the harness ceiling)\n",
+                        cpus, cpus == 1 ? "" : "s");
+        }
+    }
+
     // ------------------------------------------------------------- JSON out
     std::string json = "{\n  \"schema\": \"constable-perf-v1\",\n";
     {
@@ -234,6 +288,18 @@ perfMain(int argc, char** argv)
             json += buf;
         }
         json += "  ],\n";
+        if (flags.shardScaling > 1) {
+            std::snprintf(
+                buf, sizeof(buf),
+                "  \"shard_scaling\": {\"shards\":%u, \"host_cpus\":%u, "
+                "\"serial_seconds\":%.6f, \"sharded_seconds\":%.6f, "
+                "\"speedup\":%.3f},\n",
+                flags.shardScaling, std::thread::hardware_concurrency(),
+                scaleSerialSecs, scaleShardedSecs,
+                scaleShardedSecs > 0.0 ? scaleSerialSecs / scaleShardedSecs
+                                       : 0.0);
+            json += buf;
+        }
         std::snprintf(buf, sizeof(buf),
                       "  \"total\": {\"wall_seconds\":%.6f, "
                       "\"mops_per_sec\":%.3f}\n}\n",

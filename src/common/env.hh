@@ -42,6 +42,24 @@ parseU64Strict(const std::string& what, const std::string& value)
     return static_cast<uint64_t>(v);
 }
 
+/**
+ * parseU64Strict plus an inclusive range check, for knobs where an
+ * out-of-range value means a misconfigured fleet rather than a big sweep
+ * (CONSTABLE_SHARDS=0, a shard id beyond the shard count, a zero lease
+ * TTL that would make every lease instantly reclaimable).
+ */
+inline uint64_t
+parseU64InRange(const std::string& what, const std::string& value,
+                uint64_t min, uint64_t max)
+{
+    uint64_t v = parseU64Strict(what, value);
+    if (v < min || v > max) {
+        fatal(what + " must be in [" + std::to_string(min) + ", " +
+              std::to_string(max) + "], got '" + value + "'");
+    }
+    return v;
+}
+
 /** Read an integer env var. Unset -> nullopt; malformed -> fatal(). */
 inline std::optional<uint64_t>
 envU64(const char* name)
@@ -50,6 +68,16 @@ envU64(const char* name)
     if (!v)
         return std::nullopt;
     return parseU64Strict(name, v);
+}
+
+/** envU64 with an inclusive range check (see parseU64InRange). */
+inline std::optional<uint64_t>
+envU64InRange(const char* name, uint64_t min, uint64_t max)
+{
+    const char* v = std::getenv(name);
+    if (!v)
+        return std::nullopt;
+    return parseU64InRange(name, v, min, max);
 }
 
 /** Read a string env var (empty counts as unset). */

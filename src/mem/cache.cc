@@ -6,6 +6,50 @@
 
 namespace constable {
 
+namespace {
+
+/** Retired tag arrays kept per thread for reuse. Three geometries recur
+ *  (L1D/L2/LLC), so the pool reaches steady state after one run; the cap
+ *  bounds a thread at a few MB even when tests churn odd sizes. */
+constexpr size_t kMaxPooledArrays = 6;
+
+} // namespace
+
+std::vector<std::vector<Cache::Line>>&
+Cache::linePool()
+{
+    thread_local std::vector<std::vector<Line>> pool;
+    return pool;
+}
+
+std::vector<Cache::Line>
+Cache::acquireLines(size_t n)
+{
+    auto& pool = linePool();
+    for (size_t i = 0; i < pool.size(); ++i) {
+        if (pool[i].capacity() >= n) {
+            std::vector<Line> v = std::move(pool[i]);
+            pool[i] = std::move(pool.back());
+            pool.pop_back();
+            // Value-reset every line: bit-identical starting state to a
+            // freshly value-initialized vector (golden snapshot guarded).
+            v.assign(n, Line{});
+            return v;
+        }
+    }
+    return std::vector<Line>(n);
+}
+
+void
+Cache::releaseLines(std::vector<Line>&& v)
+{
+    auto& pool = linePool();
+    if (v.capacity() == 0 || pool.size() >= kMaxPooledArrays)
+        return; // dropped: freed normally
+    v.clear();
+    pool.push_back(std::move(v));
+}
+
 Cache::Cache(const CacheConfig& cfg) : cfg(cfg)
 {
     uint64_t numLines = static_cast<uint64_t>(cfg.sizeKB) * 1024 / kLineBytes;
@@ -15,7 +59,12 @@ Cache::Cache(const CacheConfig& cfg) : cfg(cfg)
     if (!std::has_single_bit(sets))
         fatal("Cache " + cfg.name + ": set count must be a power of two");
     setShift = static_cast<unsigned>(std::countr_zero(sets));
-    lines.resize(numLines);
+    lines = acquireLines(numLines);
+}
+
+Cache::~Cache()
+{
+    releaseLines(std::move(lines));
 }
 
 bool

@@ -45,6 +45,19 @@ class Cache
     using EvictHook = std::function<void(Addr line, bool dirty)>;
 
     explicit Cache(const CacheConfig& cfg);
+    ~Cache();
+
+    /** The backing tag array is recycled through a per-thread pool across
+     *  Cache lifetimes (a batch worker constructs three arrays per
+     *  simulated run; reusing the allocations keeps construction out of
+     *  the sweep profile), so a Cache must be destroyed on the thread
+     *  that created it — true for every runTrace/runSmtPair job. Copies
+     *  would each release into the pool independently, which is safe but
+     *  pointless; moves keep the buffer. */
+    Cache(const Cache&) = delete;
+    Cache& operator=(const Cache&) = delete;
+    Cache(Cache&&) = default;
+    Cache& operator=(Cache&&) = default;
 
     /** Probe for a line; updates recency on hit. @param line line address. */
     bool lookup(Addr line, bool is_write);
@@ -86,6 +99,11 @@ class Cache
     unsigned setIndex(Addr line) const { return line & (sets - 1); }
     Addr tagOf(Addr line) const { return line >> setShift; }
     unsigned victimWay(unsigned set);
+
+    /** Per-thread recycled tag-array storage (see the dtor note above). */
+    static std::vector<std::vector<Line>>& linePool();
+    static std::vector<Line> acquireLines(size_t n);
+    static void releaseLines(std::vector<Line>&& v);
 
     CacheConfig cfg;
     unsigned sets;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <map>
 #include <system_error>
@@ -41,6 +42,29 @@ makeDirs(const std::string& dir, const char* what)
               "' cannot be created: " + ec.message());
 }
 
+/** Fresh private scratch directory under the system temp dir. */
+std::string
+makeTempDir(const char* prefix)
+{
+#if defined(__unix__) || defined(__APPLE__)
+    std::string tmpl = (std::filesystem::temp_directory_path() /
+                        (std::string(prefix) + "-XXXXXX"))
+                           .string();
+    std::vector<char> buf(tmpl.begin(), tmpl.end());
+    buf.push_back('\0');
+    if (!mkdtemp(buf.data()))
+        fatal("cannot create scratch directory from template " + tmpl);
+    return buf.data();
+#else
+    std::string dir = (std::filesystem::temp_directory_path() /
+                       (std::string(prefix) + "-" +
+                        sanitizeFileName(processOwnerTag())))
+                          .string();
+    makeDirs(dir, "scratch");
+    return dir;
+#endif
+}
+
 [[noreturn]] void
 printUsage(const char* prog, int exit_code)
 {
@@ -59,12 +83,23 @@ printUsage(const char* prog, int exit_code)
         "(0 = off)\n"
         "  --trace-cache-max-age-days=N drop cache entries older than N "
         "days (0 = off)\n"
+        "  --shards=N          fork N cooperating worker processes per "
+        "sweep\n"
+        "  --shard-id=K        join an externally launched fleet as worker "
+        "K\n                      (requires --shards and a shared "
+        "--checkpoint-dir)\n"
+        "  --lease-ttl-sec=N   reclaim a worker's cell lease after N "
+        "seconds\n"
+        "  --shard-poll-ms=N   poll interval while waiting on other "
+        "shards\n"
         "  --help              this text\n"
         "Environment: CONSTABLE_THREADS, CONSTABLE_SEED, "
         "CONSTABLE_TRACE_OPS,\nCONSTABLE_SUITE_LIMIT, CONSTABLE_TRACE_DIR, "
         "CONSTABLE_CHECKPOINT_DIR,\nCONSTABLE_TRACE_CACHE_MAX_MB, "
-        "CONSTABLE_TRACE_CACHE_MAX_AGE_DAYS\n(strict-parsed; CLI flags "
-        "override env).\n",
+        "CONSTABLE_TRACE_CACHE_MAX_AGE_DAYS,\nCONSTABLE_SHARDS, "
+        "CONSTABLE_SHARD_ID, CONSTABLE_LEASE_TTL_SEC,\n"
+        "CONSTABLE_SHARD_POLL_MS (strict-parsed; CLI flags override "
+        "env).\n",
         prog);
     std::exit(exit_code);
 }
@@ -97,6 +132,16 @@ ExperimentOptions::fromEnv()
         opts.traceCacheMaxMB = *v;
     if (auto v = envU64("CONSTABLE_TRACE_CACHE_MAX_AGE_DAYS"))
         opts.traceCacheMaxAgeDays = *v;
+    if (auto v = envU64InRange("CONSTABLE_SHARDS", 1,
+                               ShardOptions::kMaxShards))
+        opts.shards = static_cast<unsigned>(*v);
+    if (auto v = envU64InRange("CONSTABLE_SHARD_ID", 0,
+                               ShardOptions::kMaxShards - 1))
+        opts.shardId = static_cast<int>(*v);
+    if (auto v = envU64InRange("CONSTABLE_LEASE_TTL_SEC", 1, 7 * 86400))
+        opts.leaseTtlSec = static_cast<unsigned>(*v);
+    if (auto v = envU64InRange("CONSTABLE_SHARD_POLL_MS", 1, 60'000))
+        opts.shardPollMs = static_cast<unsigned>(*v);
     return opts;
 }
 
@@ -149,6 +194,19 @@ ExperimentOptions::fromArgs(int argc, char** argv)
             opts.traceCacheMaxMB = parseU64Strict(flag, val());
         } else if (flag == "--trace-cache-max-age-days") {
             opts.traceCacheMaxAgeDays = parseU64Strict(flag, val());
+        } else if (flag == "--shards") {
+            opts.shards = static_cast<unsigned>(
+                parseU64InRange(flag, val(), 1, ShardOptions::kMaxShards));
+        } else if (flag == "--shard-id") {
+            opts.shardId = static_cast<int>(
+                parseU64InRange(flag, val(), 0,
+                                ShardOptions::kMaxShards - 1));
+        } else if (flag == "--lease-ttl-sec") {
+            opts.leaseTtlSec = static_cast<unsigned>(
+                parseU64InRange(flag, val(), 1, 7 * 86400));
+        } else if (flag == "--shard-poll-ms") {
+            opts.shardPollMs = static_cast<unsigned>(
+                parseU64InRange(flag, val(), 1, 60'000));
         } else {
             std::fprintf(stderr, "unknown argument '%s'\n", arg.c_str());
             printUsage(prog, 1);
@@ -164,6 +222,26 @@ ExperimentOptions::batch() const
     b.threads = threads;
     b.seed = seed;
     return b;
+}
+
+ShardOptions
+ExperimentOptions::shard() const
+{
+    // Cross-field checks live here (not in fromEnv) so a fleet launcher
+    // can put CONSTABLE_SHARD_ID in each machine's environment and pass
+    // --shards on the shared command line.
+    if (shardId >= 0 && static_cast<unsigned>(shardId) >= shards) {
+        fatal("shard id " + std::to_string(shardId) +
+              " out of range: --shards=" + std::to_string(shards) +
+              " (ids are 0-based)");
+    }
+    ShardOptions s;
+    s.shards = shards;
+    s.shardId = shardId;
+    s.leaseTtlSec = leaseTtlSec;
+    s.pollMs = shardPollMs;
+    s.batch = batch();
+    return s;
 }
 
 // ---------------------------------------------------------------- Suite
@@ -457,6 +535,26 @@ Experiment::runSmt()
     return runCells(suite_->smtTracePairs().size(), /*smt=*/true);
 }
 
+std::string
+Experiment::checkpointDirFor(const std::string& root, bool smt,
+                             SweepManifest& manifest, size_t rows) const
+{
+    // Checkpoints key on the sweep's identity: the experiment name, the
+    // suite's content, and the ordered config names. Seed/threads are
+    // excluded — cells are deterministic functions of (row, config), so the
+    // same sweep resumed at a different thread count stays bit-identical.
+    uint64_t key = hashCombine(suite_->contentHash(), smt ? 1 : 0);
+    for (const std::string& n : names_)
+        key = hashCombine(key, fnv1a(n));
+    manifest.experiment = name_;
+    manifest.suiteHash = key;
+    manifest.smt = smt;
+    manifest.numRows = rows;
+    manifest.numConfigs = factories_.size();
+    manifest.configNames = names_;
+    return root + "/" + sanitizeFileName(name_) + "-" + hex16(key);
+}
+
 ExperimentResult
 Experiment::runCells(size_t rows, bool smt)
 {
@@ -473,31 +571,64 @@ Experiment::runCells(size_t rows, bool smt)
     auto pairs = smt ? suite_->smtTracePairs()
                      : std::vector<std::pair<const Trace*, const Trace*>>{};
 
-    // Checkpoints key on the sweep's identity: the experiment name, the
-    // suite's content, and the ordered config names. Seed/threads are
-    // excluded — cells are deterministic functions of (row, config), so the
-    // same sweep resumed at a different thread count stays bit-identical.
-    std::string ckptDir;
-    std::vector<uint8_t> done(m.results.size(), 0);
-    size_t resumed = 0;
-    auto cellPath = [&](size_t row, size_t cfg) {
-        return ckptDir + "/cell-" + std::to_string(row) + "-" +
-               std::to_string(cfg) + ".rr";
+    // One cell = one deterministic simulation; shared by the in-process
+    // batch path, forked shard workers, and the merge recovery fallback.
+    auto computeCell = [&](size_t job) -> RunResult {
+        size_t row = job / m.numConfigs;
+        size_t cfgIdx = job % m.numConfigs;
+        SystemConfig cfg = factories_[cfgIdx](row);
+        if (smt)
+            return runSmtPair(*pairs[row].first, *pairs[row].second, cfg);
+        const std::unordered_set<PC>* g = gs.empty() ? nullptr : gs[row];
+        return runTrace(*traces[row], cfg, g);
     };
-    if (!opts_.checkpointDir.empty()) {
-        uint64_t key = hashCombine(suite_->contentHash(), smt ? 1 : 0);
-        for (const std::string& n : names_)
-            key = hashCombine(key, fnv1a(n));
-        ckptDir = opts_.checkpointDir + "/" + sanitizeFileName(name_) +
-                  "-" + hex16(key);
+
+    ShardOptions shardOpts = opts_.shard();
+    std::string ckptRoot = opts_.checkpointDir;
+    std::string tempRoot;
+    if (shardOpts.active() && ckptRoot.empty()) {
+        if (shardOpts.shardId >= 0) {
+            fatal("sharded worker mode (--shard-id / CONSTABLE_SHARD_ID) "
+                  "needs --checkpoint-dir on a filesystem every worker "
+                  "shares");
+        }
+        // Fork coordinator without a checkpoint dir: cells still travel
+        // between processes as files, so use a private scratch directory
+        // and discard it once the matrix is merged.
+        tempRoot = makeTempDir("constable-shards");
+        ckptRoot = tempRoot;
+    }
+
+    std::string ckptDir;
+    SweepManifest manifest;
+    size_t resumed = 0;
+    if (!ckptRoot.empty()) {
+        ckptDir = checkpointDirFor(ckptRoot, smt, manifest, rows);
         makeDirs(ckptDir, "checkpoint");
-        for (size_t row = 0; row < m.numRows; ++row) {
-            for (size_t cfg = 0; cfg < m.numConfigs; ++cfg) {
-                size_t cell = row * m.numConfigs + cfg;
-                if (loadRunResult(cellPath(row, cfg), m.results[cell])) {
-                    done[cell] = 1;
-                    ++resumed;
-                }
+    }
+
+    if (shardOpts.active()) {
+        ShardOutcome oc =
+            runShardedCells(ckptDir, manifest, computeCell, m.results,
+                            shardOpts);
+        // The final merge loads every cell, so oc.loaded always spans the
+        // matrix; only cells that predated this run count as resumed.
+        resumed = oc.preExisting;
+        if (!tempRoot.empty()) {
+            std::error_code ec;
+            std::filesystem::remove_all(tempRoot, ec);
+        }
+        return ExperimentResult(*suite_, names_, std::move(m), resumed);
+    }
+
+    std::vector<uint8_t> done(m.results.size(), 0);
+    if (!ckptDir.empty()) {
+        writeOrVerifyManifest(ckptDir, manifest);
+        for (size_t cell = 0; cell < m.results.size(); ++cell) {
+            if (loadRunResult(cellFilePath(ckptDir, manifest, cell),
+                              m.results[cell])) {
+                done[cell] = 1;
+                ++resumed;
             }
         }
     }
@@ -505,21 +636,49 @@ Experiment::runCells(size_t rows, bool smt)
     forEachJob(m.results.size(), [&](size_t job, Rng&) {
         if (done[job])
             return;
-        size_t row = job / m.numConfigs;
-        size_t cfgIdx = job % m.numConfigs;
-        SystemConfig cfg = factories_[cfgIdx](row);
-        if (smt) {
-            m.results[job] =
-                runSmtPair(*pairs[row].first, *pairs[row].second, cfg);
-        } else {
-            const std::unordered_set<PC>* g = gs.empty() ? nullptr : gs[row];
-            m.results[job] = runTrace(*traces[row], cfg, g);
-        }
+        m.results[job] = computeCell(job);
         if (!ckptDir.empty())
-            saveRunResult(cellPath(row, cfgIdx), m.results[job]);
+            saveRunResult(cellFilePath(ckptDir, manifest, job),
+                          m.results[job]);
     }, opts_.batch());
 
     return ExperimentResult(*suite_, names_, std::move(m), resumed);
+}
+
+ExperimentResult
+Experiment::merge(bool smt)
+{
+    if (factories_.empty())
+        fatal("experiment '" + name_ + "' has no configurations");
+    if (opts_.checkpointDir.empty())
+        fatal("experiment '" + name_ + "': merge() needs --checkpoint-dir");
+
+    size_t rows = smt ? suite_->smtTracePairs().size() : suite_->size();
+    SweepManifest manifest;
+    std::string ckptDir =
+        checkpointDirFor(opts_.checkpointDir, smt, manifest, rows);
+
+    SweepManifest onDisk;
+    if (!loadManifest(ckptDir + "/manifest.sweep", onDisk))
+        fatal("merge: no sweep manifest under '" + ckptDir +
+              "' (was this sweep ever started?)");
+    if (!(onDisk == manifest))
+        fatal("merge: checkpoint directory '" + ckptDir +
+              "' holds a different sweep than '" + name_ + "'");
+
+    MatrixResult m;
+    m.numRows = rows;
+    m.numConfigs = factories_.size();
+    ShardOutcome oc;
+    if (!mergeShardedCells(ckptDir, manifest, /*compute=*/nullptr,
+                           m.results, opts_.shard(), oc)) {
+        fatal("merge: sweep '" + name_ + "' is incomplete (" +
+              std::to_string(oc.loaded) + " of " +
+              std::to_string(manifest.numCells()) +
+              " cells present); let the workers finish or re-run with "
+              "run()");
+    }
+    return ExperimentResult(*suite_, names_, std::move(m), oc.loaded);
 }
 
 } // namespace constable

@@ -31,6 +31,7 @@
 #include "inspector/load_inspector.hh"
 #include "sim/batch.hh"
 #include "sim/runner.hh"
+#include "sim/shard.hh"
 #include "trace/generator.hh"
 #include "workloads/suite.hh"
 
@@ -57,13 +58,27 @@ struct ExperimentOptions
     /** Trace-cache entry age cap in days; 0 (default) disables age
      *  trimming. */
     uint64_t traceCacheMaxAgeDays = 0;
+    /** Process-level sharding: > 1 forks that many cooperating worker
+     *  processes per sweep (coordinator mode; see sim/shard.hh). */
+    unsigned shards = 1;
+    /** >= 0: this process is worker `shardId` of `shards` independently
+     *  launched processes sharing checkpointDir (multi-machine mode). */
+    int shardId = -1;
+    /** Stale-lease reclaim threshold for sharded sweeps (seconds); must
+     *  exceed the worst-case single-cell runtime. */
+    unsigned leaseTtlSec = 120;
+    /** Poll interval while a shard waits on other workers' cells (ms). */
+    unsigned shardPollMs = 100;
 
-    /** All knobs from CONSTABLE_* env vars (strict: malformed -> fatal). */
+    /** All knobs from CONSTABLE_* env vars (strict: malformed -> fatal).
+     *  New: CONSTABLE_SHARDS, CONSTABLE_SHARD_ID, CONSTABLE_LEASE_TTL_SEC,
+     *  CONSTABLE_SHARD_POLL_MS. */
     static ExperimentOptions fromEnv();
 
     /**
      * Env first, then CLI flags override: --threads=N --seed=N
      * --trace-ops=N --suite-limit=N --trace-dir=PATH --checkpoint-dir=PATH
+     * --shards=N --shard-id=K --lease-ttl-sec=N --shard-poll-ms=N
      * ("--flag value" also accepted). --help prints usage and exits;
      * unknown arguments fatal().
      */
@@ -71,6 +86,16 @@ struct ExperimentOptions
 
     /** The thread/seed subset consumed by the batch runner. */
     BatchOptions batch() const;
+
+    /** The process-parallelism subset consumed by sim/shard.hh; fatal()
+     *  on inconsistent settings (shardId >= shards). */
+    ShardOptions shard() const;
+
+    /** True when this process should print human-readable reports: single
+     *  process runs, fork coordinators, and shard 0 of a launched fleet
+     *  (every shard computes and merges the same full result; only one
+     *  should narrate it). */
+    bool printsReport() const { return shardId <= 0; }
 };
 
 /**
@@ -246,14 +271,30 @@ class Experiment
 
     size_t numConfigs() const { return factories_.size(); }
 
-    /** Run the {trace x config} matrix (gs sets attached when inspected). */
+    /** Run the {trace x config} matrix (gs sets attached when inspected).
+     *  With opts.shards > 1 the matrix is executed by forked worker
+     *  processes claiming cells through the checkpoint directory; with
+     *  opts.shardId >= 0 this process joins an externally launched fleet.
+     *  Either way the returned matrix is complete and bit-identical to a
+     *  single-process run. */
     ExperimentResult run();
 
     /** Run the {SMT2 pair x config} matrix over smtTracePairs(). */
     ExperimentResult runSmt();
 
+    /**
+     * Assemble the result matrix purely from the checkpoint directory
+     * (e.g. after a fleet of workers on other machines finished), without
+     * simulating anything; fatal() if the sweep's manifest is absent or
+     * any cell is missing/corrupt. Requires opts.checkpointDir.
+     */
+    ExperimentResult merge(bool smt = false);
+
   private:
     ExperimentResult runCells(size_t rows, bool smt);
+    /** Keyed per-sweep checkpoint subdirectory + its manifest. */
+    std::string checkpointDirFor(const std::string& root, bool smt,
+                                 SweepManifest& manifest, size_t rows) const;
 
     std::string name_;
     const Suite* suite_;

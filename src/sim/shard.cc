@@ -1,0 +1,339 @@
+#include "sim/shard.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <filesystem>
+#include <system_error>
+#include <thread>
+
+#include "common/logging.hh"
+
+// fork()-based coordinator mode is POSIX-only; other platforms fall back
+// to computing the whole matrix in-process (still through the lease
+// protocol, so on-disk artifacts are identical).
+#if defined(__unix__) || defined(__APPLE__)
+#define CONSTABLE_HAVE_FORK 1
+#include <sys/wait.h>
+#include <unistd.h>
+#endif
+
+namespace constable {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+bool
+fileExists(const std::string& path)
+{
+    std::error_code ec;
+    return fs::exists(path, ec) && !ec;
+}
+
+void
+sleepMs(unsigned ms)
+{
+    std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+LeaseRecord
+makeLease(int shard_id)
+{
+    LeaseRecord r;
+    r.owner = processOwnerTag();
+#if defined(__unix__) || defined(__APPLE__)
+    r.pid = static_cast<uint64_t>(::getpid());
+#endif
+    r.shardId = shard_id;
+    r.acquiredUnixSec = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::seconds>(
+            std::chrono::system_clock::now().time_since_epoch())
+            .count());
+    return r;
+}
+
+unsigned
+effectiveThreads(const BatchOptions& b)
+{
+    if (b.threads != 0)
+        return b.threads;
+    unsigned hw = std::thread::hardware_concurrency();
+    return std::max(1u, std::min(hw == 0 ? 1u : hw, 16u));
+}
+
+/** Mutable per-process view of the claim loop. */
+struct WorkerCtx
+{
+    const std::string& dir;
+    const SweepManifest& m;
+    const CellFn& compute;
+    ShardOptions opts;
+    ShardOutcome outcome;
+    /** Cell known complete (its checkpoint file was observed). Written
+     *  concurrently from batch jobs, but each job owns distinct indices. */
+    std::vector<uint8_t> done;
+};
+
+/**
+ * One claim pass: scan cells in shard-strided order, claim up to one per
+ * local thread (so a queued claim's lease never sits idle long enough to
+ * go stale), compute + commit + release. Returns cells computed.
+ */
+size_t
+workerPass(WorkerCtx& ctx)
+{
+    const size_t n = ctx.m.numCells();
+    // Stride the scan start by shard id so a fleet of freshly launched
+    // workers fans out across the matrix instead of racing on cell 0.
+    const size_t offset =
+        ctx.opts.shardId > 0 && ctx.opts.shards > 1
+            ? (static_cast<size_t>(ctx.opts.shardId) * n) / ctx.opts.shards
+            : 0;
+    const size_t maxClaims =
+        std::max<size_t>(1, effectiveThreads(ctx.opts.batch));
+    const double ttl = static_cast<double>(ctx.opts.leaseTtlSec);
+
+    std::vector<size_t> claimed;
+    LeaseRecord lease = makeLease(ctx.opts.shardId);
+    for (size_t i = 0; i < n && claimed.size() < maxClaims; ++i) {
+        size_t c = (i + offset) % n;
+        if (ctx.done[c])
+            continue;
+        if (fileExists(cellFilePath(ctx.dir, ctx.m, c))) {
+            ctx.done[c] = 1;
+            continue;
+        }
+        std::string lp = cellLeasePath(ctx.dir, ctx.m, c);
+        if (tryAcquireLease(lp, lease)) {
+            claimed.push_back(c);
+            continue;
+        }
+        // Held by someone else: reclaim only if stale (its holder died or
+        // lost the filesystem). The remove/re-acquire pair can race with
+        // another reclaimer; determinism + atomic commits make a double
+        // execution benign, so no stronger protocol is needed.
+        double age = leaseAgeSeconds(lp);
+        if (age >= ttl) {
+            removeLease(lp);
+            if (tryAcquireLease(lp, lease)) {
+                ++ctx.outcome.reclaimed;
+                claimed.push_back(c);
+            }
+        }
+    }
+    if (claimed.empty())
+        return 0;
+
+    forEachJob(claimed.size(), [&](size_t i, Rng&) {
+        size_t c = claimed[i];
+        std::string lp = cellLeasePath(ctx.dir, ctx.m, c);
+        // The claim may have queued behind other jobs: refresh the lease
+        // mtime so its TTL measures compute time, not queue time.
+        std::error_code ec;
+        fs::last_write_time(lp, fs::file_time_type::clock::now(), ec);
+        RunResult r = ctx.compute(c);
+        if (!saveRunResult(cellFilePath(ctx.dir, ctx.m, c), r,
+                           /*durable=*/true)) {
+            fatal("shard worker cannot write cell checkpoint in '" +
+                  ctx.dir + "'");
+        }
+        removeLease(lp);
+        ctx.done[c] = 1;
+    }, ctx.opts.batch);
+    ctx.outcome.computed += claimed.size();
+    return claimed.size();
+}
+
+/** Claim until every cell of the matrix has a committed checkpoint file
+ *  (this process's cells and everyone else's). */
+void
+workerLoop(WorkerCtx& ctx)
+{
+    const size_t n = ctx.m.numCells();
+    for (;;) {
+        size_t ran = workerPass(ctx);
+        bool all = true;
+        for (size_t c = 0; c < n && all; ++c) {
+            if (!ctx.done[c] && !fileExists(cellFilePath(ctx.dir, ctx.m, c)))
+                all = false;
+        }
+        if (all)
+            return;
+        if (ran == 0)
+            sleepMs(ctx.opts.pollMs);
+    }
+}
+
+#ifdef CONSTABLE_HAVE_FORK
+
+/** Fork `shards` single-threaded workers over the claim loop and reap
+ *  them. Child processes _exit() without running static destructors: they
+ *  inherited the coordinator's thread pool, whose worker threads do not
+ *  exist after fork(). */
+void
+forkWorkers(const std::string& dir, const SweepManifest& m,
+            const CellFn& compute, const ShardOptions& opts,
+            ShardOutcome& outcome)
+{
+    std::vector<pid_t> pids;
+    for (unsigned k = 0; k < opts.shards; ++k) {
+        pid_t pid = ::fork();
+        if (pid < 0) {
+            warn("fork() failed for shard worker " + std::to_string(k) +
+                 "; continuing with fewer workers");
+            break;
+        }
+        if (pid == 0) {
+            ShardOptions w = opts;
+            w.shardId = static_cast<int>(k);
+            w.batch.threads = 1; // never touch the inherited pool
+            WorkerCtx ctx { dir, m, compute, w, {}, {} };
+            ctx.done.assign(m.numCells(), 0);
+            workerLoop(ctx);
+            std::fflush(nullptr);
+            ::_exit(0);
+        }
+        pids.push_back(pid);
+        ++outcome.workersForked;
+    }
+    for (pid_t pid : pids) {
+        int status = 0;
+        if (::waitpid(pid, &status, 0) < 0 ||
+            !WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+            ++outcome.workersFailed;
+            warn("shard worker pid " + std::to_string(pid) +
+                 " exited abnormally; its cells will be recovered");
+        }
+    }
+}
+
+#endif // CONSTABLE_HAVE_FORK
+
+} // namespace
+
+std::string
+cellFilePath(const std::string& dir, const SweepManifest& m, size_t cell)
+{
+    size_t row = cell / m.numConfigs;
+    size_t cfg = cell % m.numConfigs;
+    return dir + "/cell-" + std::to_string(row) + "-" +
+           std::to_string(cfg) + ".rr";
+}
+
+std::string
+cellLeasePath(const std::string& dir, const SweepManifest& m, size_t cell)
+{
+    return cellFilePath(dir, m, cell) + ".lease";
+}
+
+void
+writeOrVerifyManifest(const std::string& dir, const SweepManifest& m)
+{
+    std::string path = dir + "/manifest.sweep";
+    SweepManifest existing;
+    if (!loadManifest(path, existing)) {
+        if (!saveManifest(path, m))
+            fatal("cannot write sweep manifest '" + path + "'");
+        // Two sweeps racing on an empty directory both "win" the write
+        // (last rename sticks): re-read so exactly one of them survives.
+        if (!loadManifest(path, existing))
+            fatal("cannot re-read sweep manifest '" + path + "'");
+    }
+    if (!(existing == m)) {
+        fatal("checkpoint directory '" + dir + "' belongs to sweep '" +
+              existing.experiment + "' (" + std::to_string(existing.numRows) +
+              "x" + std::to_string(existing.numConfigs) +
+              "), not to this sweep '" + m.experiment +
+              "'; use a distinct --checkpoint-dir per sweep");
+    }
+}
+
+bool
+mergeShardedCells(const std::string& dir, const SweepManifest& m,
+                  const CellFn* compute, std::vector<RunResult>& out,
+                  const ShardOptions& opts, ShardOutcome& outcome)
+{
+    const size_t n = m.numCells();
+    out.resize(n);
+    bool complete = true;
+    for (size_t c = 0; c < n; ++c) {
+        if (loadRunResult(cellFilePath(dir, m, c), out[c])) {
+            ++outcome.loaded;
+            continue;
+        }
+        // Missing, or present but failing its FNV checksum (a worker died
+        // after rename was scheduled but before the data hit disk, or the
+        // file was mangled): regenerate rather than aborting the merge.
+        if (compute) {
+            out[c] = (*compute)(c);
+            saveRunResult(cellFilePath(dir, m, c), out[c], /*durable=*/true);
+            removeLease(cellLeasePath(dir, m, c));
+            ++outcome.computed;
+        } else {
+            complete = false;
+        }
+    }
+    // Orphaned tmp files (a writer SIGKILLed mid-write) are invisible to
+    // the commit protocol but accumulate; sweep old ones here.
+    std::error_code ec;
+    for (const auto& entry : fs::directory_iterator(dir, ec)) {
+        if (ec)
+            break;
+        std::string name = entry.path().filename().string();
+        if (name.find(".tmp.") == std::string::npos)
+            continue;
+        double age = leaseAgeSeconds(entry.path().string());
+        if (age >= static_cast<double>(opts.leaseTtlSec)) {
+            std::error_code rec;
+            if (fs::remove(entry.path(), rec) && !rec)
+                ++outcome.staleTmpRemoved;
+        }
+    }
+    return complete;
+}
+
+ShardOutcome
+runShardedCells(const std::string& dir, const SweepManifest& m,
+                const CellFn& compute, std::vector<RunResult>& out,
+                const ShardOptions& opts)
+{
+    ShardOutcome outcome;
+    writeOrVerifyManifest(dir, m);
+    if (m.numCells() == 0) {
+        out.clear();
+        return outcome;
+    }
+    // Resumed-work accounting must be taken before any worker runs: after
+    // the sweep every cell has a file, so a post-hoc count says nothing.
+    for (size_t c = 0; c < m.numCells(); ++c) {
+        if (fileExists(cellFilePath(dir, m, c)))
+            ++outcome.preExisting;
+    }
+
+    if (opts.shardId >= 0) {
+        // Worker mode: independently launched process of a fleet sharing
+        // this directory. Claim until the matrix is complete, then merge
+        // so every shard returns the same full result.
+        WorkerCtx ctx { dir, m, compute, opts, outcome, {} };
+        ctx.done.assign(m.numCells(), 0);
+        workerLoop(ctx);
+        outcome = ctx.outcome;
+        mergeShardedCells(dir, m, &compute, out, opts, outcome);
+        return outcome;
+    }
+
+#ifdef CONSTABLE_HAVE_FORK
+    // Coordinator mode: fork the fleet, reap it, assemble the matrix.
+    forkWorkers(dir, m, compute, opts, outcome);
+#else
+    // No fork(): compute everything here, still via the lease protocol.
+    WorkerCtx ctx { dir, m, compute, opts, outcome, {} };
+    ctx.done.assign(m.numCells(), 0);
+    workerLoop(ctx);
+    outcome = ctx.outcome;
+#endif
+    mergeShardedCells(dir, m, &compute, out, opts, outcome);
+    return outcome;
+}
+
+} // namespace constable

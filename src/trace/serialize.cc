@@ -3,10 +3,12 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <atomic>
 #include <bit>
 #include <chrono>
 #include <cstdio>
 #include <filesystem>
+#include <random>
 #include <system_error>
 
 // mmap-backed trace loads: map the cache file instead of slurping it into a
@@ -25,8 +27,10 @@ namespace {
 
 // Magic numbers lead every file so a wrong-type or zero-length file is
 // rejected before any payload parsing.
-constexpr uint32_t kTraceMagic = 0x43545243;  // "CTRC"
-constexpr uint32_t kResultMagic = 0x43525253; // "CRRS"
+constexpr uint32_t kTraceMagic = 0x43545243;    // "CTRC"
+constexpr uint32_t kResultMagic = 0x43525253;   // "CRRS"
+constexpr uint32_t kManifestMagic = 0x464d5343; // "CSMF"
+constexpr uint32_t kLeaseMagic = 0x534c5343;    // "CSLS"
 
 /** Little-endian append-only encoder. */
 class ByteWriter
@@ -159,17 +163,65 @@ checkedPayload(const uint8_t* bytes, size_t n, size_t& payload_len)
     return fnv1a(bytes, payload_len) == want;
 }
 
-bool
-writeFileAtomic(const std::string& path, const std::vector<uint8_t>& bytes)
+/** Per-write unique tmp suffix: pid + process-random nonce + counter.
+ *  Sharded sweeps have many processes (and threads) writing into one
+ *  directory, possibly targeting the same entry after a lease reclaim; a
+ *  pid-only suffix would let two threads of one process collide. */
+std::string
+tmpSuffix()
 {
-    // Unique-enough tmp name: the pid guards against another process
-    // writing the same entry; within one process each path has one writer.
-    std::string tmp = path + ".tmp." + std::to_string(::getpid());
+    static const uint64_t nonce = [] {
+        std::random_device rd;
+        return (static_cast<uint64_t>(rd()) << 32) ^ rd();
+    }();
+    static std::atomic<uint64_t> counter { 0 };
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), ".tmp.%llu.%08llx.%llu",
+                  static_cast<unsigned long long>(::getpid()),
+                  static_cast<unsigned long long>(nonce & 0xffffffffull),
+                  static_cast<unsigned long long>(
+                      counter.fetch_add(1, std::memory_order_relaxed)));
+    return buf;
+}
+
+/** Flush a directory's metadata so a just-renamed entry survives a crash
+ *  (best-effort: not every filesystem needs or supports it). */
+void
+fsyncDirOf(const std::string& path)
+{
+#if defined(__unix__) || defined(__APPLE__)
+    std::string dir = std::filesystem::path(path).parent_path().string();
+    if (dir.empty())
+        dir = ".";
+    int fd = ::open(dir.c_str(), O_RDONLY);
+    if (fd >= 0) {
+        ::fsync(fd);
+        ::close(fd);
+    }
+#else
+    (void)path;
+#endif
+}
+
+} // namespace
+
+bool
+writeFileAtomic(const std::string& path, const std::vector<uint8_t>& bytes,
+                bool durable)
+{
+    std::string tmp = path + tmpSuffix();
     std::FILE* f = std::fopen(tmp.c_str(), "wb");
     if (!f)
         return false;
     size_t wrote = std::fwrite(bytes.data(), 1, bytes.size(), f);
-    bool ok = (wrote == bytes.size()) && (std::fclose(f) == 0);
+    bool ok = wrote == bytes.size();
+    if (ok && durable)
+        ok = std::fflush(f) == 0;
+#if defined(__unix__) || defined(__APPLE__)
+    if (ok && durable)
+        ok = ::fsync(::fileno(f)) == 0;
+#endif
+    ok = (std::fclose(f) == 0) && ok;
     if (!ok) {
         std::remove(tmp.c_str());
         return false;
@@ -180,8 +232,12 @@ writeFileAtomic(const std::string& path, const std::vector<uint8_t>& bytes)
         std::remove(tmp.c_str());
         return false;
     }
+    if (durable)
+        fsyncDirOf(path);
     return true;
 }
+
+namespace {
 
 bool
 readFile(const std::string& path, std::vector<uint8_t>& bytes)
@@ -436,9 +492,9 @@ deserializeRunResult(const std::vector<uint8_t>& bytes, RunResult& out)
 }
 
 bool
-saveRunResult(const std::string& path, const RunResult& r)
+saveRunResult(const std::string& path, const RunResult& r, bool durable)
 {
-    return writeFileAtomic(path, serializeRunResult(r));
+    return writeFileAtomic(path, serializeRunResult(r), durable);
 }
 
 bool
@@ -446,6 +502,152 @@ loadRunResult(const std::string& path, RunResult& out)
 {
     std::vector<uint8_t> bytes;
     return readFile(path, bytes) && deserializeRunResult(bytes, out);
+}
+
+// ------------------------------------------------- multi-process sweep files
+
+std::vector<uint8_t>
+serializeManifest(const SweepManifest& m)
+{
+    ByteWriter w;
+    w.u32(kManifestMagic);
+    w.u32(kSerializeVersion);
+    w.str(m.experiment);
+    w.u64(m.suiteHash);
+    w.u8(m.smt ? 1 : 0);
+    w.u64(m.numRows);
+    w.u64(m.numConfigs);
+    w.u64(m.configNames.size());
+    for (const std::string& n : m.configNames)
+        w.str(n);
+    w.sealChecksum();
+    return w.take();
+}
+
+bool
+deserializeManifest(const std::vector<uint8_t>& bytes, SweepManifest& out)
+{
+    size_t payload;
+    if (!checkedPayload(bytes.data(), bytes.size(), payload))
+        return false;
+    ByteReader r(bytes.data(), payload);
+    uint32_t magic, version;
+    if (!r.u32(magic) || magic != kManifestMagic || !r.u32(version) ||
+        version != kSerializeVersion)
+        return false;
+    SweepManifest m;
+    uint8_t smt;
+    uint64_t nNames;
+    if (!r.str(m.experiment) || !r.u64(m.suiteHash) || !r.u8(smt) ||
+        !r.u64(m.numRows) || !r.u64(m.numConfigs) || !r.u64(nNames) ||
+        nNames > r.remaining() / 4 + 1)
+        return false;
+    m.smt = smt != 0;
+    m.configNames.resize(nNames);
+    for (std::string& n : m.configNames) {
+        if (!r.str(n))
+            return false;
+    }
+    if (r.remaining() != 0)
+        return false;
+    out = std::move(m);
+    return true;
+}
+
+bool
+saveManifest(const std::string& path, const SweepManifest& m)
+{
+    return writeFileAtomic(path, serializeManifest(m), /*durable=*/true);
+}
+
+bool
+loadManifest(const std::string& path, SweepManifest& out)
+{
+    std::vector<uint8_t> bytes;
+    return readFile(path, bytes) && deserializeManifest(bytes, out);
+}
+
+std::string
+processOwnerTag()
+{
+    char host[256] = "unknown-host";
+#if defined(__unix__) || defined(__APPLE__)
+    if (::gethostname(host, sizeof(host)) != 0)
+        std::snprintf(host, sizeof(host), "unknown-host");
+    host[sizeof(host) - 1] = '\0';
+#endif
+    return std::string(host) + ":" + std::to_string(::getpid());
+}
+
+bool
+tryAcquireLease(const std::string& path, const LeaseRecord& r)
+{
+    // "x" (C11): O_CREAT|O_EXCL — creation atomically decides the claim.
+    std::FILE* f = std::fopen(path.c_str(), "wbx");
+    if (!f)
+        return false;
+    ByteWriter w;
+    w.u32(kLeaseMagic);
+    w.u32(kSerializeVersion);
+    w.str(r.owner);
+    w.u64(r.pid);
+    w.u64(static_cast<uint64_t>(r.shardId));
+    w.u64(r.acquiredUnixSec);
+    w.sealChecksum();
+    const auto& bytes = w.bytes();
+    bool ok = std::fwrite(bytes.data(), 1, bytes.size(), f) == bytes.size();
+    if (ok)
+        ok = std::fflush(f) == 0;
+#if defined(__unix__) || defined(__APPLE__)
+    if (ok)
+        ::fsync(::fileno(f)); // best-effort: the claim itself is the open
+#endif
+    ok = (std::fclose(f) == 0) && ok;
+    if (!ok)
+        std::remove(path.c_str());
+    return ok;
+}
+
+bool
+readLease(const std::string& path, LeaseRecord& out)
+{
+    std::vector<uint8_t> bytes;
+    if (!readFile(path, bytes))
+        return false;
+    size_t payload;
+    if (!checkedPayload(bytes.data(), bytes.size(), payload))
+        return false;
+    ByteReader r(bytes.data(), payload);
+    uint32_t magic, version;
+    if (!r.u32(magic) || magic != kLeaseMagic || !r.u32(version) ||
+        version != kSerializeVersion)
+        return false;
+    LeaseRecord l;
+    uint64_t shard;
+    if (!r.str(l.owner) || !r.u64(l.pid) || !r.u64(shard) ||
+        !r.u64(l.acquiredUnixSec) || r.remaining() != 0)
+        return false;
+    l.shardId = static_cast<int64_t>(shard);
+    out = std::move(l);
+    return true;
+}
+
+double
+leaseAgeSeconds(const std::string& path)
+{
+    std::error_code ec;
+    auto mtime = std::filesystem::last_write_time(path, ec);
+    if (ec)
+        return -1.0;
+    auto now = std::filesystem::file_time_type::clock::now();
+    return std::chrono::duration<double>(now - mtime).count();
+}
+
+bool
+removeLease(const std::string& path)
+{
+    std::error_code ec;
+    return std::filesystem::remove(path, ec) && !ec;
 }
 
 // ----------------------------------------------------------- cache keying

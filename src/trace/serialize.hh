@@ -43,6 +43,19 @@ bool deserializeTrace(const uint8_t* bytes, size_t n, Trace& out);
  *  half-written cache entry. Returns false on I/O failure. */
 bool saveTrace(const std::string& path, const Trace& t);
 
+/**
+ * The atomic-write primitive behind every save* helper: bytes go to a tmp
+ * file named with a PID + per-process-random suffix (safe when many
+ * processes write the same entry concurrently), and the rename is the
+ * commit point. With durable=true the tmp file is fsync'd before the
+ * rename (and the directory after it), so a renamed file survives a crash
+ * with its full contents — the invariant the sharded-sweep merge relies
+ * on: a visible cell file is either complete or fails its checksum.
+ */
+bool writeFileAtomic(const std::string& path,
+                     const std::vector<uint8_t>& bytes,
+                     bool durable = false);
+
 /** Load and verify; false on missing/corrupt/truncated/mismatched files.
  *  Decodes from an mmap view of the file where the platform supports it
  *  (no intermediate whole-file heap buffer), falling back to a buffered
@@ -57,9 +70,74 @@ std::vector<uint8_t> serializeRunResult(const RunResult& r);
 
 bool deserializeRunResult(const std::vector<uint8_t>& bytes, RunResult& out);
 
-bool saveRunResult(const std::string& path, const RunResult& r);
+/** @param durable fsync before the rename commit (checkpoint cells written
+ *  by sharded workers; see writeFileAtomic). */
+bool saveRunResult(const std::string& path, const RunResult& r,
+                   bool durable = false);
 
 bool loadRunResult(const std::string& path, RunResult& out);
+
+// ------------------------------------------------- multi-process sweep files
+
+/**
+ * Identity of a sharded sweep, written once (atomically) into its
+ * checkpoint directory as `manifest.sweep`. Every cooperating process
+ * verifies it against its own sweep before claiming cells, so two
+ * different experiments pointed at one directory fail fast instead of
+ * silently interleaving incompatible cell files.
+ */
+struct SweepManifest
+{
+    std::string experiment;
+    uint64_t suiteHash = 0;
+    bool smt = false;
+    uint64_t numRows = 0;
+    uint64_t numConfigs = 0;
+    std::vector<std::string> configNames;
+
+    uint64_t numCells() const { return numRows * numConfigs; }
+    bool operator==(const SweepManifest&) const = default;
+};
+
+std::vector<uint8_t> serializeManifest(const SweepManifest& m);
+bool deserializeManifest(const std::vector<uint8_t>& bytes,
+                         SweepManifest& out);
+bool saveManifest(const std::string& path, const SweepManifest& m);
+bool loadManifest(const std::string& path, SweepManifest& out);
+
+/**
+ * A worker's claim on one matrix cell, stored as `<cell>.lease` next to the
+ * cell file. Creation is atomic (O_CREAT|O_EXCL semantics), which is the
+ * whole claim protocol; expiry is judged from the lease file's mtime, not
+ * from the timestamp written inside it, so a worker whose wall clock is
+ * wrong cannot make its own leases look fresh or stale. Readers still
+ * compare that mtime against their local clock (leaseAgeSeconds), so a
+ * fleet's clocks must agree with the file server to well within the lease
+ * TTL — run NTP, and size the TTL above worst cell time + clock error.
+ */
+struct LeaseRecord
+{
+    std::string owner;            ///< "<hostname>:<pid>" diagnostic tag
+    uint64_t pid = 0;
+    int64_t shardId = -1;
+    uint64_t acquiredUnixSec = 0; ///< informational only (see mtime note)
+};
+
+/** "<hostname>:<pid>" of the calling process (lease ownership tag). */
+std::string processOwnerTag();
+
+/** Atomically create the lease file; false if it already exists (someone
+ *  else holds the claim) or on I/O error. The write is fsync'd. */
+bool tryAcquireLease(const std::string& path, const LeaseRecord& r);
+
+/** Read a lease (diagnostics); false if missing or corrupt. */
+bool readLease(const std::string& path, LeaseRecord& out);
+
+/** Seconds since the lease file was last written; negative if missing. */
+double leaseAgeSeconds(const std::string& path);
+
+/** Remove a lease file (release after commit, or reclaim of a stale one). */
+bool removeLease(const std::string& path);
 
 // ------------------------------------------------------------- cache keying
 

@@ -6,12 +6,44 @@
 
 #include <gtest/gtest.h>
 
+#include "core/storage.hh"
 #include "power/power.hh"
 #include "sim/runner.hh"
 #include "workloads/suite.hh"
 
 namespace constable {
 namespace {
+
+/**
+ * Synthetic stat set for a run where a fraction `elimFrac` of `loads`
+ * dynamic loads is eliminated by Constable. Eliminated loads skip the AGU,
+ * LSQ search, DTLB and L1D read, but every load still pays the SLD/RMT
+ * lookups, and elimination adds AMT traffic — the energy trade the paper's
+ * Fig 19 / Table 3 constants encode.
+ */
+StatSet
+elimStats(double elim_frac)
+{
+    constexpr double kLoads = 10'000.0;
+    constexpr double kOps = 40'000.0;
+    double executed = kLoads * (1.0 - elim_frac);
+    StatSet s;
+    s.set("renamed.ops", kOps);
+    s.set("instructions", kOps);
+    s.set("rob.allocs", kOps);
+    s.set("rs.allocs", kOps - kLoads * elim_frac);
+    s.set("issue.events", kOps - kLoads * elim_frac);
+    s.set("exec.alu", kOps - kLoads);
+    s.set("exec.agu", executed);
+    s.set("mem.l1d.reads", executed);
+    s.set("mem.dtlb.accesses", executed);
+    s.set("constable.sld.lookups", kLoads);
+    s.set("constable.sld.arms", kLoads * elim_frac * 0.1);
+    s.set("constable.rmt.inserts", kLoads);
+    s.set("constable.amt.inserts", kLoads * elim_frac * 0.2);
+    s.set("constable.amt.invalidations", kLoads * elim_frac * 0.05);
+    return s;
+}
 
 TEST(Power, ZeroStatsZeroPower)
 {
@@ -76,6 +108,76 @@ TEST(Power, ConstableReducesCoreDynamicEnergy)
     double eb = computePower(base.stats).total();
     double ec = computePower(cons.stats).total();
     EXPECT_LT(ec, eb);
+}
+
+// Sensitivity of the fixed per-event constants (fig19/table3) to the
+// eliminated-load fraction: a stepping stone to McPAT calibration — any
+// recalibrated parameter set must preserve these monotonic responses.
+TEST(Power, EnergyRespondsMonotonicallyToEliminatedLoadFraction)
+{
+    PowerParams p;
+    double prevTotal = -1.0, prevMeu = -1.0;
+    for (int step = 0; step <= 10; ++step) {
+        double f = 0.1 * step;
+        PowerBreakdown b = computePower(elimStats(f), p);
+        if (step > 0) {
+            // More elimination -> strictly less total and memory-execution
+            // energy, despite the growing AMT/SLD-arm overhead.
+            EXPECT_LT(b.total(), prevTotal) << "at fraction " << f;
+            EXPECT_LT(b.meu(), prevMeu) << "at fraction " << f;
+        }
+        prevTotal = b.total();
+        prevMeu = b.meu();
+    }
+
+    // The response is linear in the eliminated fraction with slope
+    // (per-load execution energy saved) - (per-load Constable overhead
+    // added); the model holds it exactly, so check the endpoints against
+    // the analytic value.
+    double e0 = computePower(elimStats(0.0), p).total();
+    double e1 = computePower(elimStats(1.0), p).total();
+    double perLoadSaved = p.l1dPerRead + p.aguPerOp + p.lsqSearchPerMemOp +
+                          p.dtlbPerAccess + p.rsPerAlloc + p.rsPerIssue +
+                          p.prfPerWrite;
+    double perLoadAdded =
+        0.1 * p.sldWrite + 0.2 * p.amtAccess + 0.05 * p.amtAccess;
+    EXPECT_NEAR(e0 - e1, 10'000.0 * (perLoadSaved - perLoadAdded),
+                1e-6 * e0);
+    // Sanity for any future recalibration: the elimination win must
+    // dominate the structure overhead by a wide margin (paper §9.5).
+    EXPECT_GT(perLoadSaved, 10.0 * perLoadAdded);
+}
+
+// The power model's Constable constants are the same 14 nm numbers the
+// Table 3 reproduction prints; a calibration that touches one must touch
+// both, and this pins them together.
+TEST(Power, ConstableConstantsMatchTable3)
+{
+    PowerParams p;
+    bool sawSld = false, sawAmt = false, sawRmt = false;
+    for (const EnergyRow& row : constableEnergyTable()) {
+        if (row.name.find("SLD") != std::string::npos) {
+            EXPECT_DOUBLE_EQ(p.sldRead, row.readPj);
+            EXPECT_DOUBLE_EQ(p.sldWrite, row.writePj);
+            sawSld = true;
+        }
+        // The model charges AMT/RMT with one blended per-access energy:
+        // the mean of the table's read and write numbers (rounded to two
+        // decimals for RMT).
+        if (row.name.find("AMT") != std::string::npos) {
+            EXPECT_NEAR(p.amtAccess, (row.readPj + row.writePj) / 2.0,
+                        1e-9);
+            sawAmt = true;
+        }
+        if (row.name.find("RMT") != std::string::npos) {
+            EXPECT_NEAR(p.rmtAccess, (row.readPj + row.writePj) / 2.0,
+                        0.01);
+            sawRmt = true;
+        }
+    }
+    EXPECT_TRUE(sawSld);
+    EXPECT_TRUE(sawAmt);
+    EXPECT_TRUE(sawRmt);
 }
 
 TEST(Power, EvesDoesNotReduceEnergyMuch)

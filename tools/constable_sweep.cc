@@ -1,0 +1,140 @@
+/**
+ * @file
+ * constable-sweep: the coordinator CLI for sharded multi-process sweeps.
+ * Runs the paper's full mechanism-preset matrix (16 named configurations x
+ * the 90-trace suite) through the Experiment API and prints per-preset
+ * geomean speedups plus a byte-level result fingerprint (FNV chained over
+ * every cell's serialized RunResult, in row-major order) so runs at
+ * different shard/thread counts can be diffed for bit-identity.
+ *
+ * Single machine, 4 worker processes:
+ *   constable-sweep --shards=4
+ *
+ * Fleet on a shared filesystem (one process per machine; any worker can
+ * also crash and be replaced — its leased cells are reclaimed):
+ *   machine k:  constable-sweep --shards=8 --shard-id=k \
+ *                   --checkpoint-dir=/shared/sweep
+ *
+ * Assemble a finished fleet's matrix without simulating anything:
+ *   constable-sweep --merge-only --checkpoint-dir=/shared/sweep
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "sim/experiment.hh"
+#include "trace/serialize.hh"
+
+namespace constable {
+namespace {
+
+/** The 16 evaluated mechanism presets (matching the golden-snapshot set:
+ *  §8.4 plus the Fig 7 oracles, Fig 13 mode filters, Fig 22 AMT-I). */
+Experiment
+presetExperiment(const Suite& suite, const ExperimentOptions& opts)
+{
+    Experiment exp("presets", suite, opts);
+    exp.add("baseline", baselineMech())
+        .add("constable", constableMech())
+        .add("eves", evesMech())
+        .add("eves+constable", evesPlusConstableMech())
+        .add("elar", elarMech())
+        .add("rfp", rfpMech())
+        .add("elar+constable", elarPlusConstableMech())
+        .add("rfp+constable", rfpPlusConstableMech())
+        .add("constable-pcrel", constableModeOnlyMech(AddrMode::PcRel))
+        .add("constable-stackrel", constableModeOnlyMech(AddrMode::StackRel))
+        .add("constable-regrel", constableModeOnlyMech(AddrMode::RegRel))
+        .add("constable-amt-i", constableAmtIMech());
+    exp.add("ideal-stable-lvp", [&suite](size_t row) {
+        return SystemConfig { CoreConfig{},
+            idealMech(IdealMode::StableLvp, suite.globalStablePcs(row)) };
+    });
+    exp.add("ideal-stable-lvp-nofetch", [&suite](size_t row) {
+        return SystemConfig { CoreConfig{},
+            idealMech(IdealMode::StableLvpNoFetch,
+                      suite.globalStablePcs(row)) };
+    });
+    exp.add("ideal-constable", [&suite](size_t row) {
+        return SystemConfig { CoreConfig{},
+            idealMech(IdealMode::Constable, suite.globalStablePcs(row)) };
+    });
+    exp.add("eves+ideal-constable", [&suite](size_t row) {
+        return SystemConfig { CoreConfig{},
+            evesPlusIdealConstableMech(suite.globalStablePcs(row)) };
+    });
+    return exp;
+}
+
+/** Byte-identity fingerprint: FNV over every cell's serialized bytes. */
+uint64_t
+resultFingerprint(const MatrixResult& m)
+{
+    uint64_t h = 0x5eedf00dull;
+    for (const RunResult& r : m.results) {
+        auto bytes = serializeRunResult(r);
+        h ^= fnv1a(bytes.data(), bytes.size());
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+int
+sweepMain(int argc, char** argv)
+{
+    bool mergeOnly = false;
+    std::vector<char*> rest;
+    rest.push_back(argc > 0 ? argv[0] : const_cast<char*>("constable-sweep"));
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--merge-only") == 0) {
+            mergeOnly = true;
+        } else {
+            if (std::strcmp(argv[i], "--help") == 0 ||
+                std::strcmp(argv[i], "-h") == 0) {
+                std::printf(
+                    "constable-sweep extra options:\n"
+                    "  --merge-only   assemble the matrix from an existing\n"
+                    "                 checkpoint dir; simulate nothing and\n"
+                    "                 fail if any cell is missing\n");
+            }
+            rest.push_back(argv[i]);
+        }
+    }
+
+    ExperimentOptions opts = ExperimentOptions::fromArgs(
+        static_cast<int>(rest.size()), rest.data());
+
+    Suite suite = Suite::prepare(opts, /*inspect=*/true);
+    Experiment exp = presetExperiment(suite, opts);
+    ExperimentResult res = mergeOnly ? exp.merge() : exp.run();
+
+    if (!opts.printsReport())
+        return 0;
+
+    std::vector<std::vector<double>> series;
+    std::vector<std::string> names = {
+        "constable", "eves", "eves+constable", "elar+constable",
+        "rfp+constable", "ideal-constable",
+    };
+    for (const std::string& n : names)
+        series.push_back(res.speedups(n, "baseline"));
+    res.printGeomeans("constable-sweep: preset speedups over baseline",
+                      series, names);
+    std::printf("\ncells: %zu (%zu resumed from prior checkpoints)\n",
+                res.matrix().results.size(), res.resumedCells());
+    std::printf("result fingerprint: %016llx\n",
+                static_cast<unsigned long long>(
+                    resultFingerprint(res.matrix())));
+    return 0;
+}
+
+} // namespace
+} // namespace constable
+
+int
+main(int argc, char** argv)
+{
+    return constable::sweepMain(argc, argv);
+}
