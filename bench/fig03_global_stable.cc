@@ -10,6 +10,7 @@
 #include <cstdio>
 
 #include "sim/experiment.hh"
+#include "sim/scenario.hh"
 
 using namespace constable;
 
@@ -17,6 +18,10 @@ int
 main(int argc, char** argv)
 {
     auto opts = ExperimentOptions::fromArgs(argc, argv);
+    // --mech / --scenario replace the compiled-in figure with a
+    // named registry sweep (sim/scenario.hh).
+    if (runNamedSweepIfRequested("fig03", opts))
+        return 0;
     Suite suite = Suite::prepare(opts);
 
     // Offline study: no matrix cells to share, so non-reporting shards of

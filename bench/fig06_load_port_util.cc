@@ -9,6 +9,7 @@
 #include <cstdio>
 
 #include "sim/experiment.hh"
+#include "sim/scenario.hh"
 
 using namespace constable;
 
@@ -16,9 +17,13 @@ int
 main(int argc, char** argv)
 {
     auto opts = ExperimentOptions::fromArgs(argc, argv);
+    // --mech / --scenario replace the compiled-in figure with a
+    // named registry sweep (sim/scenario.hh).
+    if (runNamedSweepIfRequested("fig06", opts))
+        return 0;
     Suite suite = Suite::prepare(opts);
     auto res = Experiment("fig06", suite, opts)
-                   .add("eves", evesMech())
+                   .addPreset("eves")
                    .run();
 
     // Sharded fleets: every worker computed (and merged) the full

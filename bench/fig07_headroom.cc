@@ -7,6 +7,7 @@
  */
 
 #include "sim/experiment.hh"
+#include "sim/scenario.hh"
 
 using namespace constable;
 
@@ -14,6 +15,10 @@ int
 main(int argc, char** argv)
 {
     auto opts = ExperimentOptions::fromArgs(argc, argv);
+    // --mech / --scenario replace the compiled-in figure with a
+    // named registry sweep (sim/scenario.hh).
+    if (runNamedSweepIfRequested("fig07", opts))
+        return 0;
     Suite suite = Suite::prepare(opts);
 
     CoreConfig wide;
@@ -21,26 +26,11 @@ main(int argc, char** argv)
 
     auto res =
         Experiment("fig07", suite, opts)
-            .add("baseline", baselineMech())
-            .add("lvp",
-                 [&suite](size_t row) {
-                     return SystemConfig { CoreConfig{},
-                         idealMech(IdealMode::StableLvp,
-                                   suite.globalStablePcs(row)) };
-                 })
-            .add("nofetch",
-                 [&suite](size_t row) {
-                     return SystemConfig { CoreConfig{},
-                         idealMech(IdealMode::StableLvpNoFetch,
-                                   suite.globalStablePcs(row)) };
-                 })
-            .add("width2", baselineMech(), wide)
-            .add("ideal",
-                 [&suite](size_t row) {
-                     return SystemConfig { CoreConfig{},
-                         idealMech(IdealMode::Constable,
-                                   suite.globalStablePcs(row)) };
-                 })
+            .addPreset("baseline")
+            .addPreset("ideal-stable-lvp")
+            .addPreset("ideal-stable-lvp-nofetch")
+            .add("width2", mechFor("baseline"), wide)
+            .addPreset("ideal-constable")
             .run();
 
     // Sharded fleets: every worker computed (and merged) the full
@@ -51,10 +41,10 @@ main(int argc, char** argv)
     res.printGeomeans(
         "Fig 7: headroom over baseline "
         "(paper: LVP 1.043, LVP+noFetch 1.067, 2xWidth 1.088, Ideal 1.091)",
-        { res.speedups("lvp", "baseline"),
-          res.speedups("nofetch", "baseline"),
+        { res.speedups("ideal-stable-lvp", "baseline"),
+          res.speedups("ideal-stable-lvp-nofetch", "baseline"),
           res.speedups("width2", "baseline"),
-          res.speedups("ideal", "baseline") },
+          res.speedups("ideal-constable", "baseline") },
         { "IdealLVP", "LVP+noFetch", "2xLoadWidth", "IdealConst" });
     return 0;
 }

@@ -11,6 +11,7 @@
 #include <cstdio>
 
 #include "sim/experiment.hh"
+#include "sim/scenario.hh"
 
 using namespace constable;
 
@@ -18,13 +19,17 @@ int
 main(int argc, char** argv)
 {
     auto opts = ExperimentOptions::fromArgs(argc, argv);
+    // --mech / --scenario replace the compiled-in figure with a
+    // named registry sweep (sim/scenario.hh).
+    if (runNamedSweepIfRequested("fig09", opts))
+        return 0;
     Suite suite = Suite::prepare(opts);
 
-    MechanismConfig noWp = constableMech();
+    MechanismConfig noWp = mechFor("constable");
     noWp.constable.wrongPathUpdates = false;
 
     auto res = Experiment("fig09", suite, opts)
-                   .add("constable", constableMech())
+                   .addPreset("constable")
                    .add("noWrongPath", noWp)
                    .run();
 

@@ -10,6 +10,7 @@
  */
 
 #include "sim/experiment.hh"
+#include "sim/scenario.hh"
 
 using namespace constable;
 
@@ -17,20 +18,19 @@ int
 main(int argc, char** argv)
 {
     auto opts = ExperimentOptions::fromArgs(argc, argv);
+    // --mech / --scenario replace the compiled-in figure with a
+    // named registry sweep (sim/scenario.hh).
+    if (runNamedSweepIfRequested("fig11", opts))
+        return 0;
     Suite suite = Suite::prepare(opts);
 
     auto res =
         Experiment("fig11", suite, opts)
-            .add("baseline", baselineMech())
-            .add("eves", evesMech())
-            .add("constable", constableMech())
-            .add("eves+const", evesPlusConstableMech())
-            .add("eves+ideal",
-                 [&suite](size_t row) {
-                     return SystemConfig { CoreConfig{},
-                         evesPlusIdealConstableMech(
-                             suite.globalStablePcs(row)) };
-                 })
+            .addPreset("baseline")
+            .addPreset("eves")
+            .addPreset("constable")
+            .addPreset("eves+constable")
+            .addPreset("eves+ideal-constable")
             .run();
 
     // Sharded fleets: every worker computed (and merged) the full
@@ -43,8 +43,8 @@ main(int argc, char** argv)
         "(paper: EVES 1.047, Constable 1.051, E+C 1.085, E+Ideal 1.103)",
         { res.speedups("eves", "baseline"),
           res.speedups("constable", "baseline"),
-          res.speedups("eves+const", "baseline"),
-          res.speedups("eves+ideal", "baseline") },
+          res.speedups("eves+constable", "baseline"),
+          res.speedups("eves+ideal-constable", "baseline") },
         { "EVES", "Constable", "EVES+Const", "EVES+Ideal" });
     return 0;
 }

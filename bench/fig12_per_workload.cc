@@ -15,6 +15,7 @@
 #include <numeric>
 
 #include "sim/experiment.hh"
+#include "sim/scenario.hh"
 
 using namespace constable;
 
@@ -22,13 +23,17 @@ int
 main(int argc, char** argv)
 {
     auto opts = ExperimentOptions::fromArgs(argc, argv);
+    // --mech / --scenario replace the compiled-in figure with a
+    // named registry sweep (sim/scenario.hh).
+    if (runNamedSweepIfRequested("fig12", opts))
+        return 0;
     Suite suite = Suite::prepare(opts);
 
     auto res = Experiment("fig12", suite, opts)
-                   .add("baseline", baselineMech())
-                   .add("eves", evesMech())
-                   .add("constable", constableMech())
-                   .add("eves+const", evesPlusConstableMech())
+                   .addPreset("baseline")
+                   .addPreset("eves")
+                   .addPreset("constable")
+                   .addPreset("eves+constable")
                    .run();
 
     // Sharded fleets: every worker computed (and merged) the full
@@ -38,7 +43,7 @@ main(int argc, char** argv)
 
     auto se = res.speedups("eves", "baseline");
     auto sc = res.speedups("constable", "baseline");
-    auto sb = res.speedups("eves+const", "baseline");
+    auto sb = res.speedups("eves+constable", "baseline");
 
     std::vector<size_t> order(suite.size());
     std::iota(order.begin(), order.end(), 0);

@@ -7,6 +7,7 @@
  */
 
 #include "sim/experiment.hh"
+#include "sim/scenario.hh"
 
 using namespace constable;
 
@@ -14,15 +15,18 @@ int
 main(int argc, char** argv)
 {
     auto opts = ExperimentOptions::fromArgs(argc, argv);
+    // --mech / --scenario replace the compiled-in figure with a
+    // named registry sweep (sim/scenario.hh).
+    if (runNamedSweepIfRequested("fig13", opts))
+        return 0;
     Suite suite = Suite::prepare(opts);
 
     auto res = Experiment("fig13", suite, opts)
-                   .add("baseline", baselineMech())
-                   .add("pc-only", constableModeOnlyMech(AddrMode::PcRel))
-                   .add("stack-only",
-                        constableModeOnlyMech(AddrMode::StackRel))
-                   .add("reg-only", constableModeOnlyMech(AddrMode::RegRel))
-                   .add("all", constableMech())
+                   .addPreset("baseline")
+                   .addPreset("constable-pcrel")
+                   .addPreset("constable-stackrel")
+                   .addPreset("constable-regrel")
+                   .addPreset("constable")
                    .run();
 
     // Sharded fleets: every worker computed (and merged) the full
@@ -33,10 +37,13 @@ main(int argc, char** argv)
     res.printGeomeans(
         "Fig 13: speedup by eliminated addressing mode "
         "(paper: PC 1.011, stack 1.026, reg 1.018, all 1.051)",
-        { res.speedups("pc-only", "baseline"),
-          res.speedups("stack-only", "baseline"),
-          res.speedups("reg-only", "baseline"),
-          res.speedups("all", "baseline") },
+        { res.speedups("constable-pcrel", "baseline"),
+          res.speedups("constable-stackrel", "baseline"),
+          res.speedups("constable-regrel", "baseline"),
+          res.speedups("constable", "baseline") },
         { "PC-rel only", "Stack only", "Reg only", "All loads" });
+    // Byte-level fingerprint: the CI scenario-smoke job diffs this line
+    // against a --mech/--scenario run of the same preset list.
+    printResultFingerprint(res);
     return 0;
 }

@@ -13,6 +13,7 @@
 #include <cstdio>
 
 #include "sim/experiment.hh"
+#include "sim/scenario.hh"
 
 using namespace constable;
 
@@ -20,13 +21,17 @@ int
 main(int argc, char** argv)
 {
     auto opts = ExperimentOptions::fromArgs(argc, argv);
+    // --mech / --scenario replace the compiled-in figure with a
+    // named registry sweep (sim/scenario.hh).
+    if (runNamedSweepIfRequested("fig14", opts))
+        return 0;
     Suite suite = Suite::prepare(opts, /*inspect=*/false);
 
     auto res = Experiment("fig14", suite, opts)
-                   .add("baseline", baselineMech())
-                   .add("eves", evesMech())
-                   .add("constable", constableMech())
-                   .add("eves+const", evesPlusConstableMech())
+                   .addPreset("baseline")
+                   .addPreset("eves")
+                   .addPreset("constable")
+                   .addPreset("eves+constable")
                    .runSmt();
 
     // Sharded fleets: every worker computed (and merged) the full
@@ -42,6 +47,6 @@ main(int argc, char** argv)
     std::printf("%-14s%12.4f\n", "Constable",
                 geomean(res.speedups("constable", "baseline")));
     std::printf("%-14s%12.4f\n", "EVES+Const",
-                geomean(res.speedups("eves+const", "baseline")));
+                geomean(res.speedups("eves+constable", "baseline")));
     return 0;
 }

@@ -6,6 +6,7 @@
  */
 
 #include "sim/experiment.hh"
+#include "sim/scenario.hh"
 
 using namespace constable;
 
@@ -13,15 +14,19 @@ int
 main(int argc, char** argv)
 {
     auto opts = ExperimentOptions::fromArgs(argc, argv);
+    // --mech / --scenario replace the compiled-in figure with a
+    // named registry sweep (sim/scenario.hh).
+    if (runNamedSweepIfRequested("fig15", opts))
+        return 0;
     Suite suite = Suite::prepare(opts);
 
     auto res = Experiment("fig15", suite, opts)
-                   .add("baseline", baselineMech())
-                   .add("elar", elarMech())
-                   .add("rfp", rfpMech())
-                   .add("constable", constableMech())
-                   .add("elar+const", elarPlusConstableMech())
-                   .add("rfp+const", rfpPlusConstableMech())
+                   .addPreset("baseline")
+                   .addPreset("elar")
+                   .addPreset("rfp")
+                   .addPreset("constable")
+                   .addPreset("elar+constable")
+                   .addPreset("rfp+constable")
                    .run();
 
     // Sharded fleets: every worker computed (and merged) the full
@@ -35,8 +40,8 @@ main(int argc, char** argv)
         { res.speedups("elar", "baseline"),
           res.speedups("rfp", "baseline"),
           res.speedups("constable", "baseline"),
-          res.speedups("elar+const", "baseline"),
-          res.speedups("rfp+const", "baseline") },
+          res.speedups("elar+constable", "baseline"),
+          res.speedups("rfp+constable", "baseline") },
         { "ELAR", "RFP", "Constable", "ELAR+Const", "RFP+Const" });
     return 0;
 }

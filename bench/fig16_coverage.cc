@@ -6,6 +6,7 @@
  */
 
 #include "sim/experiment.hh"
+#include "sim/scenario.hh"
 
 using namespace constable;
 
@@ -13,19 +14,18 @@ int
 main(int argc, char** argv)
 {
     auto opts = ExperimentOptions::fromArgs(argc, argv);
+    // --mech / --scenario replace the compiled-in figure with a
+    // named registry sweep (sim/scenario.hh).
+    if (runNamedSweepIfRequested("fig16", opts))
+        return 0;
     Suite suite = Suite::prepare(opts);
 
     auto res =
         Experiment("fig16", suite, opts)
-            .add("eves", evesMech())
-            .add("constable", constableMech())
-            .add("eves+const", evesPlusConstableMech())
-            .add("eves+ideal",
-                 [&suite](size_t row) {
-                     return SystemConfig { CoreConfig{},
-                         evesPlusIdealConstableMech(
-                             suite.globalStablePcs(row)) };
-                 })
+            .addPreset("eves")
+            .addPreset("constable")
+            .addPreset("eves+constable")
+            .addPreset("eves+ideal-constable")
             .run();
 
     // Sharded fleets: every worker computed (and merged) the full
@@ -47,8 +47,8 @@ main(int argc, char** argv)
     res.printMeans(
         "Fig 16: load coverage (paper: EVES 27.3%, Constable 23.5%, "
         "E+C 35.5%, E+Ideal 41.6%)",
-        { coverage("eves"), coverage("constable"), coverage("eves+const"),
-          coverage("eves+ideal") },
+        { coverage("eves"), coverage("constable"), coverage("eves+constable"),
+          coverage("eves+ideal-constable") },
         { "EVES", "Constable", "EVES+Const", "EVES+Ideal" });
     return 0;
 }

@@ -11,6 +11,7 @@
 #include <cstdio>
 
 #include "sim/experiment.hh"
+#include "sim/scenario.hh"
 
 using namespace constable;
 
@@ -18,9 +19,13 @@ int
 main(int argc, char** argv)
 {
     auto opts = ExperimentOptions::fromArgs(argc, argv);
+    // --mech / --scenario replace the compiled-in figure with a
+    // named registry sweep (sim/scenario.hh).
+    if (runNamedSweepIfRequested("fig17", opts))
+        return 0;
     Suite suite = Suite::prepare(opts);
     auto res = Experiment("fig17", suite, opts)
-                   .add("constable", constableMech())
+                   .addPreset("constable")
                    .run();
 
     // Sharded fleets: every worker computed (and merged) the full

@@ -9,6 +9,7 @@
 #include <cstdio>
 
 #include "sim/experiment.hh"
+#include "sim/scenario.hh"
 
 using namespace constable;
 
@@ -16,10 +17,14 @@ int
 main(int argc, char** argv)
 {
     auto opts = ExperimentOptions::fromArgs(argc, argv);
+    // --mech / --scenario replace the compiled-in figure with a
+    // named registry sweep (sim/scenario.hh).
+    if (runNamedSweepIfRequested("fig18", opts))
+        return 0;
     Suite suite = Suite::prepare(opts);
     auto res = Experiment("fig18", suite, opts)
-                   .add("baseline", baselineMech())
-                   .add("constable", constableMech())
+                   .addPreset("baseline")
+                   .addPreset("constable")
                    .run();
 
     // Sharded fleets: every worker computed (and merged) the full

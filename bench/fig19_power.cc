@@ -10,6 +10,7 @@
 
 #include "power/power.hh"
 #include "sim/experiment.hh"
+#include "sim/scenario.hh"
 
 using namespace constable;
 
@@ -17,12 +18,16 @@ int
 main(int argc, char** argv)
 {
     auto opts = ExperimentOptions::fromArgs(argc, argv);
+    // --mech / --scenario replace the compiled-in figure with a
+    // named registry sweep (sim/scenario.hh).
+    if (runNamedSweepIfRequested("fig19", opts))
+        return 0;
     Suite suite = Suite::prepare(opts);
     auto res = Experiment("fig19", suite, opts)
-                   .add("baseline", baselineMech())
-                   .add("eves", evesMech())
-                   .add("constable", constableMech())
-                   .add("eves+const", evesPlusConstableMech())
+                   .addPreset("baseline")
+                   .addPreset("eves")
+                   .addPreset("constable")
+                   .addPreset("eves+constable")
                    .run();
 
     // Sharded fleets: every worker computed (and merged) the full
@@ -52,7 +57,7 @@ main(int argc, char** argv)
     };
 
     Agg ab = aggregate("baseline"), ae = aggregate("eves"),
-        ac = aggregate("constable"), a2 = aggregate("eves+const");
+        ac = aggregate("constable"), a2 = aggregate("eves+constable");
 
     auto row = [&](const char* name, const Agg& a) {
         std::printf("%-12s%10.4f%10.4f%10.4f%10.4f%10.4f%10.4f\n", name,

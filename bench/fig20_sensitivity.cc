@@ -15,6 +15,7 @@
 #include <string>
 
 #include "sim/experiment.hh"
+#include "sim/scenario.hh"
 
 using namespace constable;
 
@@ -22,14 +23,18 @@ int
 main(int argc, char** argv)
 {
     auto opts = ExperimentOptions::fromArgs(argc, argv);
+    // --mech / --scenario replace the compiled-in figure with a
+    // named registry sweep (sim/scenario.hh).
+    if (runNamedSweepIfRequested("fig20", opts))
+        return 0;
     Suite suite = Suite::prepare(opts, /*inspect=*/false);
 
     Experiment width("fig20a-width", suite, opts);
     for (unsigned w = 3; w <= 6; ++w) {
         CoreConfig core;
         core.loadPorts = w;
-        width.add("base-w" + std::to_string(w), baselineMech(), core);
-        width.add("const-w" + std::to_string(w), constableMech(), core);
+        width.add("base-w" + std::to_string(w), mechFor("baseline"), core);
+        width.add("const-w" + std::to_string(w), mechFor("constable"), core);
     }
     auto wres = width.run();
 
@@ -37,8 +42,8 @@ main(int argc, char** argv)
     for (unsigned d = 1; d <= 4; ++d) {
         CoreConfig core;
         core.depthScale = static_cast<double>(d);
-        depth.add("base-d" + std::to_string(d), baselineMech(), core);
-        depth.add("const-d" + std::to_string(d), constableMech(), core);
+        depth.add("base-d" + std::to_string(d), mechFor("baseline"), core);
+        depth.add("const-d" + std::to_string(d), mechFor("constable"), core);
     }
     auto dres = depth.run();
 

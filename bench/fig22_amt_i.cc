@@ -9,6 +9,7 @@
 #include <cstdio>
 
 #include "sim/experiment.hh"
+#include "sim/scenario.hh"
 
 using namespace constable;
 
@@ -16,11 +17,15 @@ int
 main(int argc, char** argv)
 {
     auto opts = ExperimentOptions::fromArgs(argc, argv);
+    // --mech / --scenario replace the compiled-in figure with a
+    // named registry sweep (sim/scenario.hh).
+    if (runNamedSweepIfRequested("fig22", opts))
+        return 0;
     Suite suite = Suite::prepare(opts);
     auto res = Experiment("fig22", suite, opts)
-                   .add("baseline", baselineMech())
-                   .add("constable", constableMech())
-                   .add("amt-i", constableAmtIMech())
+                   .addPreset("baseline")
+                   .addPreset("constable")
+                   .addPreset("constable-amt-i")
                    .run();
 
     // Sharded fleets: every worker computed (and merged) the full
@@ -42,11 +47,11 @@ main(int argc, char** argv)
         "Fig 22(a): speedup, CV-bit pinning vs AMT-invalidate-on-evict "
         "(paper: 1.051 vs 1.042)",
         { res.speedups("constable", "baseline"),
-          res.speedups("amt-i", "baseline") },
+          res.speedups("constable-amt-i", "baseline") },
         { "Constable", "Const-AMT-I" });
     std::printf("\n");
     res.printMeans(
         "Fig 22(b): elimination coverage (paper: 23.5% vs 20.2%)",
-        { cov("constable"), cov("amt-i") }, { "Constable", "Const-AMT-I" });
+        { cov("constable"), cov("constable-amt-i") }, { "Constable", "Const-AMT-I" });
     return 0;
 }

@@ -164,12 +164,12 @@ perfMain(int argc, char** argv)
     Suite suite = Suite::prepare(opts, /*inspect=*/false);
 
     const std::vector<std::pair<std::string, MechanismConfig>> presets = {
-        { "baseline", baselineMech() },
-        { "constable", constableMech() },
-        { "eves", evesMech() },
-        { "eves+constable", evesPlusConstableMech() },
-        { "elar+constable", elarPlusConstableMech() },
-        { "rfp+constable", rfpPlusConstableMech() },
+        { "baseline", mechFor("baseline") },
+        { "constable", mechFor("constable") },
+        { "eves", mechFor("eves") },
+        { "eves+constable", mechFor("eves+constable") },
+        { "elar+constable", mechFor("elar+constable") },
+        { "rfp+constable", mechFor("rfp+constable") },
     };
 
     std::vector<PresetTiming> timings;

@@ -81,8 +81,8 @@ main(int argc, char** argv)
                 100.0 * insp.modeFrac(AddrMode::StackRel));
 
     auto res = Experiment("compiler_limits", suite, opts)
-                   .add("baseline", baselineMech())
-                   .add("constable", constableMech())
+                   .add("baseline", mechFor("baseline"))
+                   .add("constable", mechFor("constable"))
                    .run();
     const RunResult& base = res.at(0, "baseline");
     const RunResult& cons = res.at(0, "constable");

@@ -31,19 +31,19 @@ main(int argc, char** argv)
     const unsigned xprfSizes[] = { 4, 8, 16, 32, 64 };
 
     Experiment exp("design_explorer", suite, opts);
-    exp.add("baseline", baselineMech());
+    exp.add("baseline", mechFor("baseline"));
     for (unsigned thr : thresholds) {
-        MechanismConfig m = constableMech();
+        MechanismConfig m = mechFor("constable");
         m.constable.sld.confThreshold = static_cast<uint8_t>(thr);
         exp.add("thr-" + std::to_string(thr), m);
     }
     for (unsigned sets : sldSets) {
-        MechanismConfig m = constableMech();
+        MechanismConfig m = mechFor("constable");
         m.constable.sld.sets = sets;
         exp.add("sld-" + std::to_string(sets), m);
     }
     for (unsigned xprf : xprfSizes) {
-        MechanismConfig m = constableMech();
+        MechanismConfig m = mechFor("constable");
         m.constable.xprfEntries = xprf;
         exp.add("xprf-" + std::to_string(xprf), m);
     }

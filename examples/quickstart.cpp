@@ -33,8 +33,8 @@ main(int argc, char** argv)
 
     // 2. Run named configurations as one experiment.
     auto res = Experiment("quickstart", suite, opts)
-                   .add("baseline", baselineMech())
-                   .add("constable", constableMech())
+                   .add("baseline", mechFor("baseline"))
+                   .add("constable", mechFor("constable"))
                    .run();
 
     const RunResult& rb = res.at(0, "baseline");

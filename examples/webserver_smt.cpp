@@ -38,10 +38,10 @@ main(int argc, char** argv)
                 suite.trace(0).name.c_str(), suite.trace(1).name.c_str());
 
     Experiment exp("webserver_smt", suite, opts);
-    exp.add("baseline", baselineMech())
-        .add("eves", evesMech())
-        .add("constable", constableMech())
-        .add("eves+const", evesPlusConstableMech());
+    exp.add("baseline", mechFor("baseline"))
+        .add("eves", mechFor("eves"))
+        .add("constable", mechFor("constable"))
+        .add("eves+const", mechFor("eves+constable"));
     auto smt = exp.runSmt();    // one row: the (kv, log) pair
     auto serial = exp.run();    // two rows: each workload alone
 

@@ -38,6 +38,15 @@ class SmallVec
         spill_.clear();
     }
 
+    /** Drop the last element (precondition: non-empty). */
+    void
+    pop_back()
+    {
+        --n_;
+        if (n_ >= N)
+            spill_.pop_back();
+    }
+
     size_t size() const { return n_; }
     bool empty() const { return n_ == 0; }
 

@@ -1,7 +1,14 @@
+/**
+ * @file
+ * OooCore construction (resource sizing, cache warm-up, mechanism attach)
+ * and end-of-run statistics export. The per-cycle stage logic lives in
+ * cpu/rename.cc, cpu/schedule.cc, cpu/mem_pipe.cc and cpu/retire.cc.
+ */
+
 #include "cpu/core.hh"
 
-#include <algorithm>
-#include <bit>
+#include <cstdio>
+#include <unordered_set>
 
 #include "common/logging.hh"
 
@@ -10,9 +17,9 @@ namespace constable {
 OooCore::OooCore(const CoreConfig& core_cfg, const MechanismConfig& mech_cfg,
                  std::vector<const Trace*> traces,
                  const std::unordered_set<PC>* global_stable)
-    : cfg(core_cfg), mech(mech_cfg), globalStable(global_stable),
-      memory(core_cfg.mem), engine(mech_cfg.constable)
+    : CoreState(core_cfg, mech_cfg)
 {
+    globalStable = global_stable;
     if (traces.empty() || traces.size() > 2)
         fatal("OooCore: need 1 or 2 traces");
     if (traces.size() == 2 && !cfg.smt2)
@@ -21,7 +28,7 @@ OooCore::OooCore(const CoreConfig& core_cfg, const MechanismConfig& mech_cfg,
     threads.resize(traces.size());
     for (size_t i = 0; i < traces.size(); ++i) {
         threads[i].trace = traces[i];
-        threads[i].renameMap.fill(Ref{});
+        threads[i].renameMap.fill(SlotRef{});
         threads[i].recentOps.reserve(32);
     }
 
@@ -48,1146 +55,7 @@ OooCore::OooCore(const CoreConfig& core_cfg, const MechanismConfig& mech_cfg,
         }
     }
 
-    if (mech.constable.enabled && !mech.constable.cvBitPinning) {
-        // Constable-AMT-I: private-cache evictions kill AMT tracking.
-        memory.setL1EvictHook([this](Addr line, bool dirty) {
-            engine.onL1Evict(line);
-        });
-    }
-}
-
-bool
-OooCore::refValid(const Ref& r) const
-{
-    return r.slot >= 0 && slots[r.slot].valid && slots[r.slot].gen == r.gen;
-}
-
-int
-OooCore::allocSlot()
-{
-    if (freeSlots.empty())
-        return -1;
-    int s = freeSlots.back();
-    freeSlots.pop_back();
-    InFlight& e = slots[s];
-    // Aggregate reset of the trivially-copyable part; the consumer list
-    // keeps its (already empty, see wakeConsumers/freeSlot) spill storage.
-    static_cast<InFlightState&>(e) = InFlightState{};
-    e.consumers.clear();
-    e.gen = genCounter++;
-    e.valid = true;
-    return s;
-}
-
-void
-OooCore::freeSlot(int slot)
-{
-    slots[slot].valid = false;
-    freeSlots.push_back(slot);
-}
-
-void
-OooCore::schedule(int slot, EventKind kind, unsigned delay)
-{
-    if (delay == 0)
-        delay = 1;
-    if (delay >= kWheelSize)
-        delay = kWheelSize - 1;
-    unsigned idx = (now + delay) % kWheelSize;
-    wheel[idx].push_back(Event{ slot, slots[slot].gen, kind });
-    wheelOccupied[idx / 64] |= 1ull << (idx % 64);
-    ++pendingEvents;
-}
-
-/** Smallest delay d >= 1 with a populated wheel bucket; 0 when the wheel is
- *  empty. The current bucket is always drained, so a set bit is never at
- *  delay 0. */
-unsigned
-OooCore::nextEventDelay() const
-{
-    if (pendingEvents == 0)
-        return 0;
-    constexpr unsigned kWords = kWheelSize / 64;
-    unsigned cur = static_cast<unsigned>(now % kWheelSize);
-    unsigned s0 = (cur + 1) % kWheelSize;
-    unsigned found = kWheelSize;
-    uint64_t head = wheelOccupied[s0 / 64] & (~0ull << (s0 % 64));
-    if (head != 0) {
-        found = (s0 / 64) * 64 +
-                static_cast<unsigned>(std::countr_zero(head));
-    } else {
-        for (unsigned i = 1; i <= kWords; ++i) {
-            unsigned w = (s0 / 64 + i) % kWords;
-            uint64_t bits = wheelOccupied[w];
-            if (w == s0 / 64) // wrapped: only bits below the start count
-                bits &= (s0 % 64) ? ((1ull << (s0 % 64)) - 1) : 0;
-            if (bits != 0) {
-                found = w * 64 +
-                        static_cast<unsigned>(std::countr_zero(bits));
-                break;
-            }
-        }
-    }
-    return (found + kWheelSize - cur) % kWheelSize;
-}
-
-void
-OooCore::addReady(int slot)
-{
-    InFlight& e = at(slot);
-    e.state = State::Ready;
-    e.readyAt = now + 1;
-    unsigned port = static_cast<unsigned>(portOf(e));
-    ReadyQueue& q = readyQ[port];
-    q.heap.push_back(ReadyEntry{ e.gen, slot });
-    std::push_heap(q.heap.begin(), q.heap.end(),
-                   [](const ReadyEntry& a, const ReadyEntry& b) {
-                       return a.gen > b.gen;
-                   });
-    ++q.live;
-    if (port == static_cast<unsigned>(PortType::Load) && !e.isGsLoad)
-        ++readyNonGsLoads;
-}
-
-void
-OooCore::removeReady(int slot)
-{
-    // Lazy invalidation: only the live count drops; the heap entry stays
-    // behind and popReady() discards it by generation mismatch (the slot is
-    // freed or re-allocated under a strictly larger gen).
-    InFlight& e = at(slot);
-    unsigned port = static_cast<unsigned>(portOf(e));
-    --readyQ[port].live;
-    if (port == static_cast<unsigned>(PortType::Load) && !e.isGsLoad)
-        --readyNonGsLoads;
-}
-
-/** Pop the oldest live ready op on a port, discarding stale heap entries on
- *  the way; -1 when nothing live remains. */
-int
-OooCore::popReady(unsigned port)
-{
-    ReadyQueue& q = readyQ[port];
-    auto older = [](const ReadyEntry& a, const ReadyEntry& b) {
-        return a.gen > b.gen;
-    };
-    while (!q.heap.empty()) {
-        ReadyEntry top = q.heap.front();
-        std::pop_heap(q.heap.begin(), q.heap.end(), older);
-        q.heap.pop_back();
-        InFlight& e = slots[top.slot];
-        if (e.valid && e.gen == top.gen && e.state == State::Ready) {
-            --q.live;
-            if (port == static_cast<unsigned>(PortType::Load) &&
-                !e.isGsLoad)
-                --readyNonGsLoads;
-            return top.slot;
-        }
-    }
-    return -1;
-}
-
-OooCore::PortType
-OooCore::portOf(const InFlight& e) const
-{
-    if (e.op.isLoad())
-        return PortType::Load;
-    if (e.op.isStore())
-        return PortType::Sta;
-    if (e.op.cls == OpClass::Branch)
-        return PortType::Branch;
-    return PortType::Alu;
-}
-
-unsigned
-OooCore::pickThread() const
-{
-    if (threads.size() == 1)
-        return 0;
-    // ICOUNT-style: among fetchable threads, fewer in-flight ops wins; a
-    // frontend-blocked thread cedes the rename stage to its sibling.
-    auto weight = [this](const ThreadCtx& t) -> size_t {
-        if (t.done)
-            return SIZE_MAX;
-        if (now < t.frontendBlockedUntil || refValid(t.pendingBranch))
-            return SIZE_MAX - 1;
-        return t.rob.size();
-    };
-    size_t s0 = weight(threads[0]);
-    size_t s1 = weight(threads[1]);
-    return s0 <= s1 ? 0 : 1;
-}
-
-bool
-OooCore::overlaps(Addr a1, unsigned s1, Addr a2, unsigned s2) const
-{
-    return a1 < a2 + s2 && a2 < a1 + s1;
-}
-
-// ------------------------------------------------------------------ rename
-
-void
-OooCore::injectWrongPath(ThreadCtx& t)
-{
-    if (!mech.constable.enabled || !mech.constable.wrongPathUpdates)
-        return;
-    if (t.recentOps.empty())
-        return;
-    // Wrong-path micro-ops rename (and pollute the RMT/SLD) but are
-    // squashed before allocation, so they never hold ROB/RS resources.
-    for (unsigned w = 0; w < cfg.renameWidth; ++w) {
-        const MicroOp& op = t.recentOps[t.recentIdx++ % t.recentOps.size()];
-        if (op.dst != kNoReg) {
-            unsigned n = engine.renameDstWrite(op.dst);
-            sldUpdateTotal += n;
-        }
-    }
-}
-
-bool
-OooCore::renameOne(ThreadCtx& t, unsigned& loads_this_cycle,
-                   unsigned& sld_updates_this_cycle)
-{
-    if (t.traceIdx >= t.trace->ops.size())
-        return false;
-    const MicroOp& op = t.trace->ops[t.traceIdx];
-
-    // Structural resource checks (allocate stage).
-    if (t.rob.size() >= cfg.robPerThread()) {
-        ++stallRobFull;
-        return false;
-    }
-    bool classRenameDone =
-        op.cls == OpClass::Nop || op.cls == OpClass::Jump ||
-        op.cls == OpClass::Move || op.cls == OpClass::ZeroIdiom ||
-        op.cls == OpClass::StackAdj;
-    if (!classRenameDone && rsUsed >= cfg.rsTotal()) {
-        ++stallRsFull;
-        return false;
-    }
-    if (op.isLoad() && t.lbUsed >= cfg.lbPerThread()) {
-        ++stallLbFull;
-        return false;
-    }
-    if (op.isStore() && t.sbUsed >= cfg.sbPerThread()) {
-        ++stallSbFull;
-        return false;
-    }
-
-    // SLD read-port constraint: at most 3 load lookups per rename group
-    // (§6.7.1); a fourth load stalls the group to the next cycle.
-    if (op.isLoad() && mech.constable.enabled &&
-        loads_this_cycle >= engine.config().sld.readPorts) {
-        ++renameStallsSldRead;
-        return false;
-    }
-
-    int s = allocSlot();
-    if (s < 0)
-        return false;
-    InFlight& e = at(s);
-    e.op = op;
-    e.traceIdx = t.traceIdx;
-    e.seq = t.nextSeq;
-    e.tid = static_cast<ThreadId>(&t - threads.data());
-    ++robAllocs;
-    ++renamedOps;
-
-    // Branch direction prediction at fetch; jumps are branch-folded.
-    bool mispredict = false;
-    if (op.cls == OpClass::Branch) {
-        bool pred = branchPred.predict(op.pc);
-        branchPred.update(op.pc, op.taken);
-        mispredict = pred != op.taken;
-        if (mispredict)
-            ++branchMispredicts;
-    }
-
-    if (classRenameDone)
-        e.doneAtRename = true;
-
-    bool registerSrcDeps = !classRenameDone;
-
-    if (op.isLoad()) {
-        ++loads_this_cycle;
-        e.isGsLoad = globalStable && globalStable->count(op.pc);
-        bool handled = false;
-
-        // Oracle configurations (Fig 7).
-        if (mech.ideal.mode != IdealMode::None &&
-            mech.ideal.stablePcs.count(op.pc)) {
-            if (mech.ideal.mode == IdealMode::Constable) {
-                e.idealEliminated = true;
-                e.doneAtRename = true;
-                e.lbAddr = op.effAddr;
-                e.lbAddrValid = true;
-                e.loadValueDelivered = true;
-                e.elimValue = op.value;
-                handled = true;
-            } else {
-                e.vpApplied = true;
-                e.valueAvailable = true;
-                if (mech.ideal.mode == IdealMode::StableLvpNoFetch)
-                    e.noDataFetch = true;
-                handled = true;
-            }
-        }
-
-        // Constable (steps 1-3 of Fig 8).
-        if (!handled && mech.constable.enabled) {
-            ElimDecision d = engine.renameLoad(op.pc, op.addrMode);
-            if (d.eliminate) {
-                e.eliminated = true;
-                e.xprfHeld = true;
-                e.doneAtRename = true;
-                e.lbAddr = d.addr;
-                e.lbAddrValid = true;
-                e.loadValueDelivered = true;
-                e.elimValue = d.value;
-                handled = true;
-            } else {
-                e.likelyStableMarked = d.likelyStable;
-            }
-        }
-
-        // EVES load value prediction.
-        if (!handled && mech.eves) {
-            ValuePrediction p = eves.predict(op.pc);
-            eves.notifyRename(op.pc);
-            e.evesTracked = true;
-            if (p.valid) {
-                e.vpApplied = true;
-                e.valueAvailable = true;
-                e.evesPredicted = true;
-                e.vpWrong = p.value != op.value;
-                if (e.vpWrong)
-                    ++vpWrongByPc[op.pc];
-                handled = true;
-            }
-        }
-
-        // Memory Renaming: forward from the predicted in-flight store.
-        if (!handled && mech.mrn) {
-            MrnPrediction p = mrn.predict(op.pc);
-            if (p.valid) {
-                auto it = t.lastStoreByPc.find(p.storePc);
-                if (it != t.lastStoreByPc.end() && refValid(it->second)) {
-                    const InFlight& st = at(it->second.slot);
-                    e.vpApplied = true;
-                    e.valueAvailable = true;
-                    e.mrnForwarded = true;
-                    e.vpWrong = st.op.value != op.value;
-                    if (e.vpWrong)
-                        ++vpWrongByPc[op.pc];
-                    ++mrn.predictions;
-                    if (e.vpWrong)
-                        ++mrn.misforwards;
-                    else
-                        ++mrn.correctForwards;
-                    handled = true;
-                }
-            }
-        }
-
-        // Register File Prefetching: early access via predicted address.
-        if (!handled && mech.rfp) {
-            RfpPrediction p = rfp.predict(op.pc);
-            if (p.valid) {
-                e.vpApplied = true;
-                e.rfpPredicted = true;
-                e.vpWrong = p.addr != op.effAddr;
-                schedule(s, EventKind::ValueAvail, mech.rfpLatency);
-                handled = true;
-            }
-        }
-
-        // ELAR: stack loads have their address resolved before execute.
-        if (mech.elar && op.addrMode == AddrMode::StackRel &&
-            !e.doneAtRename) {
-            e.elarReady = true;
-            registerSrcDeps = false; // address needs no register sources
-        }
-        if (e.doneAtRename)
-            registerSrcDeps = false;
-    }
-
-    // Register source dependences (rename lookup of the RAT).
-    if (registerSrcDeps) {
-        for (uint8_t src : op.src) {
-            if (src == kNoReg)
-                continue;
-            Ref w = t.renameMap[src];
-            if (!refValid(w))
-                continue;
-            InFlight& p = at(w.slot);
-            if (p.state == State::Done || p.doneAtRename ||
-                p.valueAvailable)
-                continue;
-            p.consumers.push_back(Ref{ s, e.gen });
-            ++e.pendingSrcs;
-        }
-    }
-
-    // Constable steps 7-8: every instruction's destination write drains the
-    // RMT and resets listed loads in the SLD; the SLD has 2 write ports, so
-    // a third update in one cycle stalls the rename group (§6.7.1).
-    bool stopAfterThis = false;
-    if (mech.constable.enabled && op.dst != kNoReg) {
-        unsigned n = engine.renameDstWrite(op.dst);
-        sld_updates_this_cycle += n;
-        sldUpdateTotal += n;
-        if (sld_updates_this_cycle > engine.config().sld.writePorts) {
-            ++renameStallsSldWrite;
-            stopAfterThis = true;
-        }
-    }
-
-    // Rename-map update with squash checkpoint.
-    e.dstReg = op.dst;
-    if (op.dst != kNoReg) {
-        e.prevWriter = t.renameMap[op.dst];
-        t.renameMap[op.dst] = Ref{ s, e.gen };
-        // The superseded writer's xPRF register can be reclaimed: its
-        // mapping is no longer architecturally visible and all in-flight
-        // consumers took their mapping at their own rename.
-        if (refValid(e.prevWriter)) {
-            InFlight& prev = at(e.prevWriter.slot);
-            if (prev.xprfHeld) {
-                prev.xprfHeld = false;
-                engine.releaseEliminated();
-            }
-        }
-    }
-
-    // Allocate downstream resources.
-    if (!e.doneAtRename) {
-        ++rsUsed;
-        e.inRs = true;
-        ++rsAllocs;
-    }
-    if (op.isLoad()) {
-        ++t.lbUsed;
-        t.loadList.push_back(s);
-    }
-    if (op.isStore()) {
-        ++t.sbUsed;
-        t.storeList.push_back(s);
-        t.lastStoreByPc[op.pc] = Ref{ s, e.gen };
-    }
-    t.rob.push_back(s);
-
-    // Wrong-path template ring.
-    if (t.recentOps.size() < 32)
-        t.recentOps.push_back(op);
-    else
-        t.recentOps[e.seq % 32] = op;
-
-    if (e.doneAtRename) {
-        e.state = State::Done;
-        e.valueAvailable = true;
-    } else if (e.pendingSrcs == 0) {
-        addReady(s);
-    }
-
-    ++t.traceIdx;
-    ++t.nextSeq;
-
-    if (mispredict) {
-        // Frontend redirect: no younger op enters the pipeline until the
-        // branch resolves at execute plus the redirect penalty.
-        t.pendingBranch = Ref{ s, e.gen };
-        return false;
-    }
-    return !stopAfterThis;
-}
-
-void
-OooCore::renameStage()
-{
-    unsigned tid = pickThread();
-    ThreadCtx& t = threads[tid];
-    unsigned loadsThisCycle = 0;
-    unsigned sldUpdatesThisCycle = 0;
-
-    bool blocked = t.done || now < t.frontendBlockedUntil ||
-                   refValid(t.pendingBranch);
-    if (blocked) {
-        if (!t.done) {
-            ++stallFrontend;
-            if (refValid(t.pendingBranch))
-                ++stallPendingBranch;
-        }
-        if (refValid(t.pendingBranch))
-            injectWrongPath(t);
-    } else {
-        unsigned renamed = 0;
-        for (unsigned w = 0; w < cfg.renameWidth; ++w) {
-            if (!renameOne(t, loadsThisCycle, sldUpdatesThisCycle))
-                break;
-            ++renamed;
-        }
-        if (renamed == 0)
-            ++renameZeroCycles;
-    }
-    if (mech.constable.enabled) {
-        sldUpdateHist.add(sldUpdatesThisCycle);
-        ++sldUpdateCycles;
-    }
-}
-
-// ------------------------------------------------------------------- issue
-
-void
-OooCore::issueStage()
-{
-    unsigned capacity[4] = { cfg.aluPorts, cfg.loadPorts, cfg.staPorts,
-                             cfg.aluPorts };
-
-    // Replenish load-issue tokens (burst cap: one cycle's worth extra).
-    loadTokens = std::min(loadTokens + cfg.loadPorts, 2 * cfg.loadPorts);
-
-    // Branches first (they share ALU ports): fast branch resolution.
-    static const unsigned order[4] = { 3, 0, 1, 2 };
-    unsigned branchIssued = 0;
-    for (unsigned oi = 0; oi < 4; ++oi) {
-        unsigned ty = order[oi];
-        unsigned used = 0;
-        unsigned cap = capacity[ty];
-        if (ty == static_cast<unsigned>(PortType::Alu))
-            cap = cap > branchIssued ? cap - branchIssued : 0;
-        bool isLoadPort = ty == static_cast<unsigned>(PortType::Load);
-        bool gsIssued = false;
-        while (used < cap) {
-            if (isLoadPort && loadTokens < cfg.loadPortOccupancy)
-                break;
-            int s = popReady(ty);
-            if (s < 0)
-                break;
-            InFlight& e = at(s);
-            e.state = State::Issued;
-            ++issueEvents;
-            if (e.inRs) {
-                e.inRs = false;
-                --rsUsed;
-            }
-            switch (e.op.cls) {
-              case OpClass::Load:
-                if (!e.elarReady)
-                    ++aguExecs;
-                schedule(s, EventKind::AguDone, cfg.aguLat);
-                loadTokens -= cfg.loadPortOccupancy;
-                if (e.isGsLoad)
-                    gsIssued = true;
-                break;
-              case OpClass::Store:
-                ++aguExecs;
-                schedule(s, EventKind::StaDone, cfg.aguLat);
-                break;
-              case OpClass::Mul:
-                ++aluExecs;
-                schedule(s, EventKind::ExecDone, cfg.mulLat);
-                break;
-              case OpClass::Div:
-                ++aluExecs;
-                schedule(s, EventKind::ExecDone, cfg.divLat);
-                break;
-              case OpClass::FpOp:
-                ++aluExecs;
-                schedule(s, EventKind::ExecDone, cfg.fpLat);
-                break;
-              default:
-                ++aluExecs;
-                schedule(s, EventKind::ExecDone, cfg.aluLat);
-                break;
-            }
-            ++used;
-        }
-        if (ty == static_cast<unsigned>(PortType::Branch))
-            branchIssued = used;
-        if (ty == static_cast<unsigned>(PortType::Load)) {
-            if (used > 0)
-                ++loadUtilCycles;
-            if (gsIssued) {
-                // Fig 6b: is a non-global-stable load waiting on the same
-                // ports this cycle? O(1) via the live ready-non-GS count
-                // (equals what a scan of the remaining queue would find).
-                if (readyNonGsLoads > 0)
-                    ++gsOccupiedWaitCycles;
-                else
-                    ++gsOccupiedNoWaitCycles;
-            }
-        }
-    }
-}
-
-// ------------------------------------------------------------- exec events
-
-void
-OooCore::handleEvent(int slot, uint64_t gen, EventKind kind)
-{
-    InFlight& e = at(slot);
-    if (!e.valid || e.gen != gen)
-        return; // squashed
-    switch (kind) {
-      case EventKind::AguDone:
-        onLoadAgu(slot);
-        break;
-      case EventKind::StaDone:
-        onStaDone(slot);
-        break;
-      case EventKind::ExecDone:
-        completeOp(slot);
-        break;
-      case EventKind::ValueAvail:
-        e.valueAvailable = true;
-        wakeConsumers(e);
-        break;
-    }
-}
-
-void
-OooCore::onLoadAgu(int slot)
-{
-    InFlight& e = at(slot);
-    ThreadCtx& t = threads[e.tid];
-    e.lbAddr = e.op.effAddr;
-    e.lbAddrValid = true;
-
-    // Memory dependence prediction: wait only on older unresolved stores in
-    // the same store set (aggressive OOO load issue otherwise).
-    Ssid lss = storeSets.lookup(e.op.pc);
-    int blocking = -1;
-    int fwdStore = -1;
-    for (int sid : t.storeList) {
-        InFlight& st = at(sid);
-        if (st.seq >= e.seq)
-            break;
-        if (!st.storeAddrResolved) {
-            if (lss != kInvalidSsid && storeSets.lookup(st.op.pc) == lss)
-                blocking = sid;
-        } else if (overlaps(st.op.effAddr, st.op.size, e.lbAddr,
-                            e.op.size)) {
-            fwdStore = sid; // keep the youngest older match
-        }
-    }
-    if (blocking >= 0) {
-        e.state = State::Blocked;
-        e.blockingStore = Ref{ blocking, at(blocking).gen };
-        blockedLoads.push_back(Ref{ slot, e.gen });
-        return;
-    }
-    if (fwdStore >= 0) {
-        // Store-to-load forwarding from the SB.
-        e.fwdFromStorePc = at(fwdStore).op.pc;
-        schedule(slot, EventKind::ExecDone, cfg.storeForwardLat);
-        return;
-    }
-    if (e.noDataFetch) {
-        // Ideal Stable LVP + data-fetch elimination: stop after the AGU.
-        schedule(slot, EventKind::ExecDone, 1);
-        return;
-    }
-    MemAccessResult res = memory.load(e.op.pc, e.op.effAddr);
-    schedule(slot, EventKind::ExecDone, std::max(1u, res.latency));
-}
-
-void
-OooCore::onStaDone(int slot)
-{
-    InFlight& st = at(slot);
-    ThreadCtx& t = threads[st.tid];
-    st.storeAddrResolved = true;
-
-    // Constable step 9: the generated store address probes the AMT and
-    // resets the elimination status of matching loads.
-    if (mech.constable.enabled)
-        engine.storeOrSnoopAddr(st.op.effAddr);
-
-    // Memory disambiguation: any younger load with a delivered value and an
-    // overlapping address violated ordering -> flush from that load. Only
-    // loads can match, and loadList is program-ordered, so binary-search to
-    // the first load younger than the store instead of walking the ROB.
-    auto seqOf = [this](int sid, SeqNum seq) { return at(sid).seq < seq; };
-    auto it = std::upper_bound(t.loadList.begin(), t.loadList.end(), st.seq,
-                               [this](SeqNum seq, int sid) {
-                                   return seq < at(sid).seq;
-                               });
-    int violSlot = -1;
-    for (; it != t.loadList.end(); ++it) {
-        InFlight& ld = at(*it);
-        if (!ld.lbAddrValid || !ld.loadValueDelivered)
-            continue;
-        // Oracle eliminations are correct by construction (global-stable
-        // loads never change value), so the limit study excludes them from
-        // ordering flushes; the retirement golden check still verifies.
-        if (ld.idealEliminated)
-            continue;
-        if (overlaps(st.op.effAddr, st.op.size, ld.lbAddr, ld.op.size)) {
-            violSlot = *it;
-            ++orderingViolations;
-            if (ld.eliminated) {
-                ++elimOrderingViolations;
-                engine.onEliminationViolation(ld.op.pc);
-            }
-            storeSets.merge(ld.op.pc, st.op.pc);
-            break;
-        }
-    }
-    if (violSlot >= 0) {
-        // The ROB is program-ordered too: recover the flush position by seq.
-        auto rit = std::lower_bound(t.rob.begin(), t.rob.end(),
-                                    at(violSlot).seq, seqOf);
-        squashFrom(t, static_cast<size_t>(rit - t.rob.begin()),
-                   cfg.branchMispredictPenalty);
-    }
-
-    completeOp(slot);
-}
-
-void
-OooCore::wakeConsumers(InFlight& e)
-{
-    for (size_t i = 0; i < e.consumers.size(); ++i) {
-        const Ref r = e.consumers[i];
-        if (!refValid(r))
-            continue;
-        InFlight& c = at(r.slot);
-        if (c.state != State::WaitDeps || c.pendingSrcs == 0)
-            continue;
-        if (--c.pendingSrcs == 0)
-            addReady(r.slot);
-    }
-    e.consumers.clear();
-}
-
-void
-OooCore::completeOp(int slot)
-{
-    InFlight& e = at(slot);
-    ThreadCtx& t = threads[e.tid];
-    e.state = State::Done;
-    e.valueAvailable = true;
-    wakeConsumers(e);
-
-    if (e.op.isLoad() && !e.eliminated && !e.idealEliminated) {
-        e.loadValueDelivered = true;
-        // Writeback-stage training. EVES/RFP train at commit instead
-        // (CVP-style): completion-time training would see out-of-order and
-        // replayed instances, which poisons stride learning.
-        if (mech.mrn)
-            mrn.train(e.op.pc, e.fwdFromStorePc);
-        if (mech.constable.enabled) {
-            // Close the writeback/store race: a store younger than this
-            // load may have already generated its (matching) address, so
-            // its AMT probe ran before this arm would insert its entry.
-            // Arming would eliminate with a value the store is about to
-            // change. Probe the SB for resolved younger matching stores
-            // and suppress the arm (unresolved ones are caught later by
-            // the normal AMT probe at their STA).
-            bool armBlocked = false;
-            auto sit = std::upper_bound(t.storeList.begin(),
-                                        t.storeList.end(), e.seq,
-                                        [this](SeqNum seq, int sid) {
-                                            return seq < at(sid).seq;
-                                        });
-            for (; sit != t.storeList.end(); ++sit) {
-                InFlight& st2 = at(*sit);
-                if (st2.storeAddrResolved &&
-                    lineAddr(st2.op.effAddr) == lineAddr(e.op.effAddr)) {
-                    armBlocked = true;
-                    break;
-                }
-            }
-            // Steps 4-6: arm elimination for a likely-stable load.
-            bool armed = engine.writebackLoad(e.op.pc, e.op.effAddr,
-                                              e.op.value,
-                                              e.likelyStableMarked &&
-                                                  !armBlocked,
-                                              e.op.src);
-            if (armed && mech.constable.cvBitPinning)
-                directory.pin(lineAddr(e.op.effAddr));
-        }
-        // Value-speculation verification.
-        if (e.vpApplied && e.vpWrong) {
-            ++vpFlushes;
-            if (e.mrnForwarded)
-                mrn.punish(e.op.pc);
-            if (e.rfpPredicted)
-                rfp.punish(e.op.pc);
-            // Squash everything younger than the mispredicted load.
-            for (size_t i = 0; i < t.rob.size(); ++i) {
-                if (t.rob[i] == slot) {
-                    squashFrom(t, i + 1, cfg.valueMispredictPenalty);
-                    break;
-                }
-            }
-            e.vpWrong = false;
-        }
-    }
-
-    if (e.op.cls == OpClass::Branch && refValid(t.pendingBranch) &&
-        t.pendingBranch.slot == slot) {
-        // Mispredicted branch resolved: redirect after the penalty.
-        t.pendingBranch = Ref{};
-        t.frontendBlockedUntil = now + cfg.branchMispredictPenalty;
-        ++fbuBranch;
-    }
-}
-
-void
-OooCore::checkBlockedLoads()
-{
-    size_t w = 0;
-    for (size_t i = 0; i < blockedLoads.size(); ++i) {
-        Ref r = blockedLoads[i];
-        if (!refValid(r))
-            continue;
-        InFlight& e = at(r.slot);
-        if (e.state != State::Blocked)
-            continue;
-        bool storeGone = !refValid(e.blockingStore) ||
-                         at(e.blockingStore.slot).storeAddrResolved;
-        if (storeGone) {
-            e.state = State::Issued;
-            onLoadAgu(r.slot);
-            if (e.state == State::Blocked) {
-                // Re-blocked on another store; keep it in the list.
-                blockedLoads[w++] = Ref{ r.slot, e.gen };
-            }
-            continue;
-        }
-        blockedLoads[w++] = r;
-    }
-    blockedLoads.resize(w);
-}
-
-// ------------------------------------------------------------------ squash
-
-void
-OooCore::squashFrom(ThreadCtx& t, size_t rob_pos, Cycle restart_delay)
-{
-    if (rob_pos >= t.rob.size())
-        return;
-    size_t firstTraceIdx = at(t.rob[rob_pos]).traceIdx;
-    SeqNum firstSeq = at(t.rob[rob_pos]).seq;
-
-    for (size_t i = t.rob.size(); i-- > rob_pos;) {
-        int s = t.rob[i];
-        InFlight& e = at(s);
-        if (e.dstReg != kNoReg)
-            t.renameMap[e.dstReg] = e.prevWriter;
-        if (e.inRs)
-            --rsUsed;
-        if (e.state == State::Ready)
-            removeReady(s);
-        if (e.op.isLoad())
-            --t.lbUsed;
-        if (e.op.isStore())
-            --t.sbUsed;
-        if (e.eliminated && e.xprfHeld)
-            engine.releaseEliminated();
-        if (e.evesTracked)
-            eves.abortInflight(e.op.pc);
-        if (e.rfpPredicted)
-            rfp.abortInflight(e.op.pc);
-        freeSlot(s);
-    }
-    t.rob.resize(rob_pos);
-
-    // Rebuild the store/load lists from surviving entries.
-    t.storeList.clear();
-    t.loadList.clear();
-    for (int s : t.rob) {
-        if (at(s).op.isStore())
-            t.storeList.push_back(s);
-        else if (at(s).op.isLoad())
-            t.loadList.push_back(s);
-    }
-
-    if (refValid(t.pendingBranch) && at(t.pendingBranch.slot).seq >= firstSeq)
-        t.pendingBranch = Ref{};
-
-    t.traceIdx = firstTraceIdx;
-    t.nextSeq = firstSeq;
-    t.frontendBlockedUntil =
-        std::max(t.frontendBlockedUntil, now + restart_delay);
-    ++fbuSquash;
-}
-
-// ------------------------------------------------------------------ retire
-
-void
-OooCore::deliverSnoops(ThreadCtx& t, size_t upto_trace_idx)
-{
-    const auto& snoops = t.trace->snoops;
-    while (t.snoopIdx < snoops.size() &&
-           snoops[t.snoopIdx].beforeSeq <= upto_trace_idx) {
-        Addr addr = snoops[t.snoopIdx].addr;
-        // Step 10: snoop probes the AMT; directory CV bit resets; caches
-        // invalidate the line.
-        if (mech.constable.enabled) {
-            engine.storeOrSnoopAddr(addr);
-            ++engine.snoopResets;
-        }
-        directory.snoopDelivered(lineAddr(addr));
-        memory.snoop(addr);
-        ++t.snoopIdx;
-    }
-}
-
-void
-OooCore::goldenCheck(const InFlight& e)
-{
-    if (!e.op.isLoad())
-        return;
-    if (e.eliminated || e.idealEliminated) {
-        if (e.lbAddr != e.op.effAddr || e.elimValue != e.op.value) {
-            goldenFailed = true;
-            char buf[160];
-            std::snprintf(buf, sizeof(buf),
-                          "golden check failed: pc=%#llx addr %#llx vs "
-                          "%#llx value %#llx vs %#llx",
-                          (unsigned long long)e.op.pc,
-                          (unsigned long long)e.lbAddr,
-                          (unsigned long long)e.op.effAddr,
-                          (unsigned long long)e.elimValue,
-                          (unsigned long long)e.op.value);
-            goldenMsg = buf;
-        }
-    }
-    // Executed loads fetch their value from the functional trace record,
-    // so their golden check is satisfied by construction.
-}
-
-void
-OooCore::retireStage()
-{
-    unsigned budget = cfg.retireWidth;
-    for (size_t round = 0; round < threads.size() && budget > 0; ++round) {
-        // Alternate priority between SMT threads cycle by cycle.
-        ThreadCtx& t =
-            threads[(round + static_cast<size_t>(now)) % threads.size()];
-        while (budget > 0 && !t.rob.empty()) {
-            int s = t.rob.front();
-            InFlight& e = at(s);
-            if (e.state != State::Done)
-                break;
-            deliverSnoops(t, e.traceIdx);
-            goldenCheck(e);
-
-            if (e.op.isLoad()) {
-                ++loadsRetired;
-                // Commit-time predictor training (in order, exactly once).
-                if (!e.eliminated && !e.idealEliminated) {
-                    if (mech.eves)
-                        eves.train(e.op.pc, e.op.value);
-                    if (mech.rfp)
-                        rfp.train(e.op.pc, e.op.effAddr);
-                }
-                bool gs = e.isGsLoad;
-                if (gs)
-                    ++gsLoadsRetired;
-                if (e.eliminated || e.idealEliminated) {
-                    ++loadsEliminatedRetired;
-                    ++loadsElimRetiredByMode[static_cast<unsigned>(
-                        e.op.addrMode)];
-                    if (gs)
-                        ++gsElimRetired;
-                    else
-                        ++nonGsElimRetired;
-                } else if (e.vpApplied) {
-                    ++loadsVpRetired;
-                }
-                --t.lbUsed;
-                if (!t.loadList.empty() && t.loadList.front() == s)
-                    t.loadList.pop_front();
-            }
-            if (e.op.isStore()) {
-                // Senior-store drain into the L1D.
-                memory.store(e.op.pc, e.op.effAddr);
-                --t.sbUsed;
-                if (!t.storeList.empty() && t.storeList.front() == s)
-                    t.storeList.pop_front();
-            }
-            if (e.eliminated && e.xprfHeld) {
-                e.xprfHeld = false;
-                engine.releaseEliminated();
-            }
-            if (e.op.isBranch())
-                eves.pushHistory(e.op.taken);
-
-            t.rob.pop_front();
-            freeSlot(s);
-            ++t.retired;
-            --budget;
-
-            if (t.traceIdx >= t.trace->ops.size() && t.rob.empty()) {
-                // Deliver any trailing snoops, then finish the context.
-                deliverSnoops(t, t.trace->ops.size());
-                t.done = true;
-                t.finishCycle = now;
-                break;
-            }
-        }
-    }
-}
-
-// -------------------------------------------------------------------- run
-
-/**
- * Idle-cycle fast-forward: when the next cycle provably does nothing but
- * bump per-cycle stall counters -- no event due, nothing ready to issue,
- * nothing retirable, the rename stage stalled for a frozen reason -- jump
- * `now` to just before the next cycle that can make progress (next
- * populated wheel bucket or frontend-unblock point) and account the skipped
- * cycles' counters in bulk. Every branch here mirrors what the skipped
- * renameStage()/issueStage() iterations would have done, so RunResult stays
- * bit-identical to the cycle-by-cycle loop (the golden snapshot test locks
- * this).
- */
-void
-OooCore::tryFastForward()
-{
-    for (const ReadyQueue& q : readyQ)
-        if (q.live > 0)
-            return; // issueStage would issue
-    for (const ThreadCtx& t : threads)
-        if (!t.rob.empty() && at(t.rob.front()).state == State::Done)
-            return; // retireStage would retire
-
-    unsigned d = nextEventDelay();
-    if (d == 1)
-        return; // events due next cycle
-    uint64_t target = d ? now + d : UINT64_MAX;
-    // A frontend-blocked thread wakes exactly at frontendBlockedUntil:
-    // rename-ability and pickThread() weights are frozen strictly before it.
-    for (const ThreadCtx& t : threads)
-        if (!t.done && t.frontendBlockedUntil > now)
-            target = std::min<uint64_t>(target, t.frontendBlockedUntil);
-    target = std::min<uint64_t>(target, cfg.maxCycles);
-    if (target <= now + 1)
-        return;
-
-    // Replicate the one rename attempt every skipped cycle would make (all
-    // inputs are frozen across the window, so one evaluation stands for k).
-    const Cycle c = now + 1;
-    unsigned tid = 0;
-    if (threads.size() > 1) {
-        auto weight = [&](const ThreadCtx& t) -> size_t {
-            if (t.done)
-                return SIZE_MAX;
-            if (c < t.frontendBlockedUntil || refValid(t.pendingBranch))
-                return SIZE_MAX - 1;
-            return t.rob.size();
-        };
-        tid = weight(threads[0]) <= weight(threads[1]) ? 0 : 1;
-    }
-    ThreadCtx& t = threads[tid];
-    bool pb = refValid(t.pendingBranch);
-    bool blocked = t.done || c < t.frontendBlockedUntil || pb;
-    uint64_t dFrontend = 0, dPendingBranch = 0, dRobFull = 0, dRsFull = 0;
-    uint64_t dLbFull = 0, dSbFull = 0, dSldRead = 0, dZero = 0;
-    if (blocked) {
-        // Wrong-path injection mutates the RMT/SLD every blocked cycle;
-        // those cycles cannot be batched.
-        if (pb && mech.constable.enabled && mech.constable.wrongPathUpdates &&
-            !t.recentOps.empty())
-            return;
-        if (!t.done) {
-            dFrontend = 1;
-            dPendingBranch = pb ? 1 : 0;
-        }
-    } else if (t.traceIdx >= t.trace->ops.size()) {
-        dZero = 1; // trace drained; renameOne returns without a stall stat
-    } else {
-        const MicroOp& op = t.trace->ops[t.traceIdx];
-        bool classRenameDone =
-            op.cls == OpClass::Nop || op.cls == OpClass::Jump ||
-            op.cls == OpClass::Move || op.cls == OpClass::ZeroIdiom ||
-            op.cls == OpClass::StackAdj;
-        if (t.rob.size() >= cfg.robPerThread()) {
-            dRobFull = dZero = 1;
-        } else if (!classRenameDone && rsUsed >= cfg.rsTotal()) {
-            dRsFull = dZero = 1;
-        } else if (op.isLoad() && t.lbUsed >= cfg.lbPerThread()) {
-            dLbFull = dZero = 1;
-        } else if (op.isStore() && t.sbUsed >= cfg.sbPerThread()) {
-            dSbFull = dZero = 1;
-        } else if (op.isLoad() && mech.constable.enabled &&
-                   engine.config().sld.readPorts == 0) {
-            dSldRead = dZero = 1;
-        } else if (freeSlots.empty()) {
-            dZero = 1;
-        } else {
-            return; // the next cycle would rename: real progress
-        }
-    }
-
-    uint64_t k = target - 1 - now;
-    stallFrontend += dFrontend * k;
-    stallPendingBranch += dPendingBranch * k;
-    stallRobFull += dRobFull * k;
-    stallRsFull += dRsFull * k;
-    stallLbFull += dLbFull * k;
-    stallSbFull += dSbFull * k;
-    renameStallsSldRead += dSldRead * k;
-    renameZeroCycles += dZero * k;
-    if (mech.constable.enabled) {
-        sldUpdateHist.add(0, k);
-        sldUpdateCycles += k;
-    }
-    // issueStage token replenish saturates monotonically: k steps == one.
-    loadTokens = static_cast<unsigned>(
-        std::min<uint64_t>(loadTokens + k * cfg.loadPorts,
-                           2 * cfg.loadPorts));
-    now = target - 1;
-}
-
-RunResult
-OooCore::run()
-{
-    bool allDone = false;
-    while (!allDone && now < cfg.maxCycles) {
-        tryFastForward();
-        ++now;
-        auto& events = wheel[now % kWheelSize];
-        if (!events.empty()) {
-            // Recycled slab: drain in place (schedule() can never target
-            // the live bucket -- delays are clamped to [1, kWheelSize-1])
-            // and clear() keeps the capacity for the next lap.
-            size_t n = events.size();
-            pendingEvents -= n;
-            unsigned idx = static_cast<unsigned>(now % kWheelSize);
-            wheelOccupied[idx / 64] &= ~(1ull << (idx % 64));
-            for (size_t i = 0; i < n; ++i) {
-                Event ev = events[i];
-                handleEvent(ev.slot, ev.gen, ev.kind);
-            }
-            events.clear();
-        }
-        checkBlockedLoads();
-        retireStage();
-        issueStage();
-        renameStage();
-
-        allDone = true;
-        for (const ThreadCtx& t : threads)
-            allDone &= t.done;
-    }
-    if (!allDone)
-        panic("OooCore: exceeded maxCycles (model deadlock?)");
-
-    RunResult r;
-    r.cycles = now;
-    for (size_t i = 0; i < threads.size(); ++i) {
-        r.instructions += threads[i].retired;
-        r.threadInstructions[i] = threads[i].retired;
-        r.threadFinishCycle[i] = threads[i].finishCycle;
-    }
-    r.goldenCheckFailed = goldenFailed;
-    r.goldenCheckMessage = goldenMsg;
-    exportFinalStats(r);
-    return r;
+    mechs.attach(*this);
 }
 
 void
@@ -1221,10 +89,6 @@ OooCore::exportFinalStats(RunResult& r)
     s.set("ordering.elimViolations",
           static_cast<double>(elimOrderingViolations));
     s.set("vp.flushes", static_cast<double>(vpFlushes));
-    s.set("eves.predictions", static_cast<double>(eves.predictions));
-    s.set("mrn.predictions", static_cast<double>(mrn.predictions));
-    s.set("mrn.misforwards", static_cast<double>(mrn.misforwards));
-    s.set("rfp.predictions", static_cast<double>(rfp.predictions));
     s.set("cycles.loadUtil", static_cast<double>(loadUtilCycles));
     s.set("cycles.gsOccupiedWait", static_cast<double>(gsOccupiedWaitCycles));
     s.set("cycles.gsOccupiedNoWait",
@@ -1260,7 +124,7 @@ OooCore::exportFinalStats(RunResult& r)
     s.set("directory.snoops",
           static_cast<double>(directory.snoopsDelivered));
     memory.exportStats(s);
-    engine.exportStats(s);
+    mechs.exportStats(s);
 }
 
 } // namespace constable

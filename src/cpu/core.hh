@@ -4,9 +4,18 @@
  * pipeline of the paper's Fig 1 (fetch/decode/allocate/rename/issue/
  * execute/memory/writeback/retire collapse here into rename, allocate,
  * issue/execute, complete and retire events over explicit ROB/RS/LB/SB and
- * issue-port resources). Supports the baseline rename optimizations (MRN,
- * move/zero elimination, constant/branch folding), EVES/ELAR/RFP, the
- * ideal oracle modes, and Constable itself, in noSMT or 2-way SMT.
+ * issue-port resources). Load-optimization techniques (MRN, EVES, ELAR,
+ * RFP, the ideal oracles, and Constable itself) plug in through the
+ * mechanism hook points of cpu/mechanism.hh; the stage logic itself lives
+ * in one translation unit per pipeline region:
+ *
+ *   cpu/rename.cc    frontend: thread pick, wrong-path injection, rename
+ *   cpu/schedule.cc  issue ports, the event wheel, idle fast-forward, run()
+ *   cpu/mem_pipe.cc  AGU, disambiguation, writeback, squash recovery
+ *   cpu/retire.cc    in-order retire, snoop delivery, the golden check
+ *   cpu/core.cc      construction and final stat export
+ *
+ * all over the shared CoreState of cpu/core_state.hh.
  *
  * The trace is both the instruction stream and the functional reference:
  * every retired load passes the paper's golden check (§8.5) comparing the
@@ -16,24 +25,11 @@
 #ifndef CONSTABLE_CPU_CORE_HH
 #define CONSTABLE_CPU_CORE_HH
 
-#include <array>
-#include <deque>
-#include <type_traits>
-#include <unordered_map>
+#include <string>
 #include <unordered_set>
 #include <vector>
 
-#include "common/small_vec.hh"
-#include "common/stats.hh"
-#include "cpu/config.hh"
-#include "mem/directory.hh"
-#include "mem/hierarchy.hh"
-#include "predictor/branch.hh"
-#include "predictor/storeset.hh"
-#include "trace/trace.hh"
-#include "vp/eves.hh"
-#include "vp/mrn.hh"
-#include "vp/rfp.hh"
+#include "cpu/core_state.hh"
 
 namespace constable {
 
@@ -56,7 +52,7 @@ struct RunResult
     }
 };
 
-class OooCore
+class OooCore : private CoreState
 {
   public:
     /**
@@ -71,252 +67,39 @@ class OooCore
     /** Run to completion of all trace contexts. */
     RunResult run();
 
-    /** Event-wheel span: the farthest ahead an event can be scheduled
-     *  (longer delays clamp to kWheelSize - 1). */
-    static constexpr unsigned kWheelSize = 2048;
+    /** Event-wheel span (see core_state.hh). */
+    static constexpr unsigned kWheelSize = kEventWheelSize;
 
   private:
-    // ------------------------------------------------------------ types
-    enum class State : uint8_t {
-        WaitDeps, Ready, Blocked, Issued, Done,
-    };
-    enum class EventKind : uint8_t {
-        ExecDone,    ///< non-memory op finished / load data returned
-        AguDone,     ///< load address generated -> memory stage
-        StaDone,     ///< store address resolved -> disambiguation
-        ValueAvail,  ///< speculative value delivered to dependents (RFP)
-    };
-    /** Branches share the ALU ports but issue with priority (fast branch
-     *  resolution keeps mispredict windows short). */
-    enum class PortType : uint8_t { Alu = 0, Load = 1, Sta = 2, Branch = 3 };
-
-    struct Ref
-    {
-        int slot = -1;
-        uint64_t gen = 0;
-    };
-
-    /**
-     * Trivially-copyable part of an in-flight op: slot recycling resets it
-     * with one aggregate assignment (memset-class code) instead of running
-     * member-wise constructors, and keeps the consumer list's storage alive
-     * across generations.
-     */
-    struct InFlightState
-    {
-        MicroOp op;
-        uint64_t gen = 0;
-        size_t traceIdx = 0;
-        SeqNum seq = 0;       ///< per-thread program-order sequence
-        ThreadId tid = 0;
-        State state = State::WaitDeps;
-        bool valid = false;
-
-        bool inRs = false;
-        bool doneAtRename = false;
-        bool eliminated = false;        ///< Constable elimination
-        bool idealEliminated = false;
-        bool likelyStableMarked = false;
-        bool vpApplied = false;         ///< dependents woken speculatively
-        bool vpWrong = false;
-        bool valueAvailable = false;    ///< consumers need not wait
-        bool noDataFetch = false;       ///< ideal LVP-no-fetch (AGU only)
-        bool elarReady = false;         ///< address resolved at decode
-        bool mrnForwarded = false;
-        bool evesPredicted = false;
-        bool evesTracked = false;       ///< counted in E-Stride inflight
-        bool xprfHeld = false;          ///< owns an xPRF register
-        bool rfpPredicted = false;
-        bool isGsLoad = false;          ///< PC in the global-stable set
-                                        ///< (cached at rename; the set is
-                                        ///< immutable during a run)
-        PC fwdFromStorePc = 0;          ///< actual forwarding store (MRN train)
-
-        Addr lbAddr = 0;
-        bool lbAddrValid = false;
-        uint64_t elimValue = 0;         ///< SLD-provided value (golden check)
-        bool storeAddrResolved = false;
-        bool loadValueDelivered = false; ///< disambiguation "completed" bit
-
-        unsigned pendingSrcs = 0;
-        uint8_t dstReg = kNoReg;
-        Ref prevWriter;                 ///< rename-map checkpoint for squash
-        Ref blockingStore;              ///< MDP wait target
-        Cycle readyAt = 0;
-    };
-    static_assert(std::is_trivially_copyable_v<InFlightState>,
-                  "slot recycling relies on aggregate reset");
-
-    struct InFlight : InFlightState
-    {
-        /** Dependent ops woken at completion; inline for the common fan-out,
-         *  spill storage retained across slot reuse. */
-        SmallVec<Ref, 4> consumers;
-    };
-
-    struct ThreadCtx
-    {
-        const Trace* trace = nullptr;
-        size_t traceIdx = 0;
-        size_t snoopIdx = 0;
-        SeqNum nextSeq = 0;
-        std::deque<int> rob;            ///< slot ids in program order
-        std::deque<int> storeList;      ///< in-flight stores, program order
-        std::deque<int> loadList;       ///< in-flight loads, program order
-                                        ///< (disambiguation scans loads
-                                        ///< only, not the whole ROB)
-        std::array<Ref, kMaxArchRegs> renameMap;
-        unsigned lbUsed = 0;
-        unsigned sbUsed = 0;
-        Cycle frontendBlockedUntil = 0;
-        Ref pendingBranch;              ///< unresolved mispredicted branch
-        std::vector<MicroOp> recentOps; ///< wrong-path template ring
-        size_t recentIdx = 0;
-        std::unordered_map<PC, Ref> lastStoreByPc;  ///< MRN producer lookup
-        uint64_t retired = 0;
-        Cycle finishCycle = 0;
-        bool done = false;
-    };
-
-    // ------------------------------------------------------------ stages
+    // cpu/rename.cc
     void renameStage();
     bool renameOne(ThreadCtx& t, unsigned& loads_this_cycle,
                    unsigned& sld_updates_this_cycle);
     void injectWrongPath(ThreadCtx& t);
+    unsigned pickThread() const;
+
+    // cpu/schedule.cc
     void issueStage();
     void handleEvent(int slot, uint64_t gen, EventKind kind);
+    void tryFastForward();
+
+    // cpu/mem_pipe.cc
     void onLoadAgu(int slot);
     void onStaDone(int slot);
     void completeOp(int slot);
     void wakeConsumers(InFlight& e);
+    void checkBlockedLoads();
+    void squashFrom(ThreadCtx& t, size_t rob_pos, Cycle restart_delay);
+    void storeIndexInsert(ThreadCtx& t, int slot);
+    void storeIndexErase(ThreadCtx& t, int slot);
+
+    // cpu/retire.cc
     void retireStage();
     void deliverSnoops(ThreadCtx& t, size_t upto_trace_idx);
-    void squashFrom(ThreadCtx& t, size_t rob_pos, Cycle restart_delay);
-    void checkBlockedLoads();
-
-    // ------------------------------------------------------------ helpers
-    int allocSlot();
-    void freeSlot(int slot);
-    InFlight& at(int slot) { return slots[slot]; }
-    bool refValid(const Ref& r) const;
-    void schedule(int slot, EventKind kind, unsigned delay);
-    void addReady(int slot);
-    void removeReady(int slot);
-    int popReady(unsigned port);
-    unsigned nextEventDelay() const;
-    void tryFastForward();
-    PortType portOf(const InFlight& e) const;
-    unsigned pickThread() const;
-    bool overlaps(Addr a1, unsigned s1, Addr a2, unsigned s2) const;
     void goldenCheck(const InFlight& e);
+
+    // cpu/core.cc
     void exportFinalStats(RunResult& r);
-
-    // ------------------------------------------------------------ members
-    CoreConfig cfg;
-    MechanismConfig mech;
-    std::vector<ThreadCtx> threads;
-    const std::unordered_set<PC>* globalStable;
-
-    MemHierarchy memory;
-    Directory directory;
-    TageLite branchPred;
-    StoreSets storeSets;
-    EvesPredictor eves;
-    MrnTable mrn;
-    RfpPredictor rfp;
-    ConstableEngine engine;
-
-    std::vector<InFlight> slots;
-    std::vector<int> freeSlots;
-    uint64_t genCounter = 1;
-
-    unsigned rsUsed = 0;
-    Cycle now = 0;
-
-    /**
-     * Per-port ready queue: a binary min-heap over allocation generation
-     * (gens are unique and monotonically increasing, so min-gen order is
-     * exactly the (tid, seq) age order the old red-black tree gave).
-     * Squash does not search the heap; it just drops the live count and
-     * leaves a stale entry behind that popReady() discards when it surfaces
-     * (lazy invalidation). push/pop are allocation-free once the backing
-     * vector has warmed.
-     */
-    struct ReadyEntry
-    {
-        uint64_t gen;
-        int slot;
-    };
-    struct ReadyQueue
-    {
-        std::vector<ReadyEntry> heap;
-        size_t live = 0;        ///< non-stale entries (idle-skip gate)
-    };
-    ReadyQueue readyQ[4];
-    /** Ready (state Ready, not yet issued) loads whose PC is NOT in the
-     *  global-stable set: makes the Fig 6b "is a non-GS load waiting?"
-     *  check O(1) instead of a queue scan per GS-load-issue cycle. */
-    uint64_t readyNonGsLoads = 0;
-    std::vector<Ref> blockedLoads;
-    /** Load-issue token bucket: loadPorts tokens arrive per cycle, each
-     *  issued load costs loadPortOccupancy tokens (sustained bandwidth
-     *  loadPorts / occupancy, age-fair across cycles). */
-    unsigned loadTokens = 0;
-
-    struct Event
-    {
-        int slot;
-        uint64_t gen;
-        EventKind kind;
-    };
-    /** Flat event wheel: one recycled slab per future cycle (clear() keeps
-     *  capacity, so steady state schedules without allocating), plus an
-     *  occupancy bitmap so the idle-cycle fast-forward finds the next
-     *  populated bucket with a handful of word scans. */
-    std::array<std::vector<Event>, kWheelSize> wheel;
-    std::array<uint64_t, kWheelSize / 64> wheelOccupied {};
-    uint64_t pendingEvents = 0;
-
-    // ---------------------------------------------------------- statistics
-    StatSet stats;
-    Histogram sldUpdateHist { { 1, 2, 3, 4 } };
-    uint64_t sldUpdateCycles = 0;
-    uint64_t sldUpdateTotal = 0;
-    uint64_t loadUtilCycles = 0;
-    uint64_t gsOccupiedWaitCycles = 0;
-    uint64_t gsOccupiedNoWaitCycles = 0;
-    uint64_t robAllocs = 0;
-    uint64_t rsAllocs = 0;
-    uint64_t renameStallsSldRead = 0;
-    uint64_t renameStallsSldWrite = 0;
-    uint64_t elimOrderingViolations = 0;
-    uint64_t orderingViolations = 0;
-    uint64_t vpFlushes = 0;
-    uint64_t branchMispredicts = 0;
-    uint64_t loadsRetired = 0;
-    uint64_t loadsEliminatedRetired = 0;
-    uint64_t loadsVpRetired = 0;
-    uint64_t loadsElimRetiredByMode[4] = { 0, 0, 0, 0 };
-    uint64_t gsElimRetired = 0;
-    uint64_t nonGsElimRetired = 0;
-    uint64_t gsLoadsRetired = 0;
-    uint64_t aluExecs = 0;
-    uint64_t aguExecs = 0;
-    uint64_t issueEvents = 0;
-    uint64_t renamedOps = 0;
-    // Rename-stall attribution (first blocking reason per cycle).
-    uint64_t stallFrontend = 0;
-    uint64_t stallPendingBranch = 0;
-    uint64_t fbuBranch = 0;
-    uint64_t fbuSquash = 0;
-    uint64_t stallRobFull = 0;
-    uint64_t stallRsFull = 0;
-    uint64_t stallLbFull = 0;
-    uint64_t stallSbFull = 0;
-    uint64_t renameZeroCycles = 0;
-    std::unordered_map<PC, uint64_t> vpWrongByPc;
-    bool goldenFailed = false;
-    std::string goldenMsg;
 };
 
 } // namespace constable

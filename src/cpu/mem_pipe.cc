@@ -1,0 +1,340 @@
+/**
+ * @file
+ * The memory pipeline: load AGU + memory-dependence prediction, store
+ * address resolution + disambiguation (ordering-violation detection),
+ * writeback/completion with the mechanism training hooks, blocked-load
+ * replay, and squash recovery.
+ */
+
+#include "cpu/core.hh"
+
+#include <algorithm>
+
+namespace constable {
+
+namespace {
+
+/** First 8-byte chunk a byte range [addr, addr+size) touches. */
+inline Addr
+chunkLo(Addr addr)
+{
+    return addr >> 3;
+}
+
+/** Last chunk of the range (sizes are >= 1, <= 8: at most two chunks). */
+inline Addr
+chunkHi(Addr addr, unsigned size)
+{
+    return (addr + size - 1) >> 3;
+}
+
+/** Remove one slot from a chunk bucket (order-free swap erase; queries
+ *  take a seq maximum, so bucket order never matters). */
+inline void
+bucketErase(SmallVec<int, 2>& bucket, int slot)
+{
+    for (size_t i = 0; i < bucket.size(); ++i) {
+        if (bucket[i] == slot) {
+            bucket[i] = bucket[bucket.size() - 1];
+            bucket.pop_back();
+            return;
+        }
+    }
+}
+
+} // namespace
+
+/** Index a store whose address just resolved (STA). */
+void
+OooCore::storeIndexInsert(ThreadCtx& t, int slot)
+{
+    const InFlight& st = at(slot);
+    for (Addr c = chunkLo(st.op.effAddr);
+         c <= chunkHi(st.op.effAddr, st.op.size); ++c)
+        t.storeAddrIndex[c].push_back(slot);
+}
+
+/** Un-index a resolved store leaving the window (retire or squash).
+ *  Emptied buckets stay in the map: store footprints revisit the same
+ *  chunks constantly, so keeping the node (and the SmallVec's inline
+ *  storage) makes steady-state index maintenance allocation-free. */
+void
+OooCore::storeIndexErase(ThreadCtx& t, int slot)
+{
+    const InFlight& st = at(slot);
+    for (Addr c = chunkLo(st.op.effAddr);
+         c <= chunkHi(st.op.effAddr, st.op.size); ++c) {
+        auto it = t.storeAddrIndex.find(c);
+        if (it != t.storeAddrIndex.end())
+            bucketErase(it->second, slot);
+    }
+}
+
+void
+OooCore::onLoadAgu(int slot)
+{
+    InFlight& e = at(slot);
+    ThreadCtx& t = threads[e.tid];
+    e.lbAddr = e.op.effAddr;
+    e.lbAddrValid = true;
+
+    // Memory dependence prediction: wait only on older unresolved stores in
+    // the same store set (aggressive OOO load issue otherwise). Walk the
+    // unresolved-store list backward -- it is program-ordered, so the first
+    // older same-set hit is exactly the youngest one the old full-SB scan
+    // kept -- instead of scanning every in-flight store.
+    Ssid lss = storeSets.lookup(e.op.pc);
+    int blocking = -1;
+    if (lss != kInvalidSsid) {
+        for (size_t i = t.unresolvedStores.size(); i-- > 0;) {
+            const InFlight& st = at(t.unresolvedStores[i]);
+            if (st.seq >= e.seq)
+                continue;
+            if (storeSets.lookup(st.op.pc) == lss) {
+                blocking = t.unresolvedStores[i];
+                break;
+            }
+        }
+    }
+    // Store-to-load forwarding candidate: the youngest older resolved
+    // store overlapping the load's bytes, found through the chunk index
+    // (overlapping ranges always share a chunk).
+    int fwdStore = -1;
+    SeqNum fwdSeq = 0;
+    for (Addr c = chunkLo(e.lbAddr); c <= chunkHi(e.lbAddr, e.op.size);
+         ++c) {
+        auto it = t.storeAddrIndex.find(c);
+        if (it == t.storeAddrIndex.end())
+            continue;
+        const SmallVec<int, 2>& bucket = it->second;
+        for (size_t i = 0; i < bucket.size(); ++i) {
+            const InFlight& st = at(bucket[i]);
+            if (st.seq >= e.seq)
+                continue;
+            if (!overlaps(st.op.effAddr, st.op.size, e.lbAddr, e.op.size))
+                continue;
+            if (fwdStore < 0 || st.seq > fwdSeq) {
+                fwdStore = bucket[i];
+                fwdSeq = st.seq;
+            }
+        }
+    }
+    if (blocking >= 0) {
+        e.state = OpState::Blocked;
+        e.blockingStore = SlotRef{ blocking, at(blocking).gen };
+        blockedLoads.push_back(SlotRef{ slot, e.gen });
+        return;
+    }
+    if (fwdStore >= 0) {
+        // Store-to-load forwarding from the SB.
+        e.fwdFromStorePc = at(fwdStore).op.pc;
+        schedule(slot, EventKind::ExecDone, cfg.storeForwardLat);
+        return;
+    }
+    if (e.noDataFetch) {
+        // Ideal Stable LVP + data-fetch elimination: stop after the AGU.
+        schedule(slot, EventKind::ExecDone, 1);
+        return;
+    }
+    MemAccessResult res = memory.load(e.op.pc, e.op.effAddr);
+    schedule(slot, EventKind::ExecDone, std::max(1u, res.latency));
+}
+
+void
+OooCore::onStaDone(int slot)
+{
+    InFlight& st = at(slot);
+    ThreadCtx& t = threads[st.tid];
+    st.storeAddrResolved = true;
+
+    // Move the store from the unresolved list into the address index (it
+    // is usually near the back: stores resolve a few cycles after issue).
+    for (size_t i = t.unresolvedStores.size(); i-- > 0;) {
+        if (t.unresolvedStores[i] == slot) {
+            t.unresolvedStores.erase(t.unresolvedStores.begin() +
+                                     static_cast<ptrdiff_t>(i));
+            break;
+        }
+    }
+    storeIndexInsert(t, slot);
+
+    // Constable step 9: the generated store address probes the AMT and
+    // resets the elimination status of matching loads.
+    mechs.onStoreAddr(st.op.effAddr);
+
+    // Memory disambiguation: any younger load with a delivered value and an
+    // overlapping address violated ordering -> flush from that load. Only
+    // loads can match, and loadList is program-ordered, so binary-search to
+    // the first load younger than the store instead of walking the ROB.
+    auto seqOf = [this](int sid, SeqNum seq) { return at(sid).seq < seq; };
+    auto it = std::upper_bound(t.loadList.begin(), t.loadList.end(), st.seq,
+                               [this](SeqNum seq, int sid) {
+                                   return seq < at(sid).seq;
+                               });
+    int violSlot = -1;
+    for (; it != t.loadList.end(); ++it) {
+        InFlight& ld = at(*it);
+        if (!ld.lbAddrValid || !ld.loadValueDelivered)
+            continue;
+        // Oracle eliminations are correct by construction (global-stable
+        // loads never change value), so the limit study excludes them from
+        // ordering flushes; the retirement golden check still verifies.
+        if (ld.idealEliminated)
+            continue;
+        if (overlaps(st.op.effAddr, st.op.size, ld.lbAddr, ld.op.size)) {
+            violSlot = *it;
+            ++orderingViolations;
+            if (ld.eliminated) {
+                ++elimOrderingViolations;
+                mechs.onEliminationViolation(ld.op.pc);
+            }
+            storeSets.merge(ld.op.pc, st.op.pc);
+            break;
+        }
+    }
+    if (violSlot >= 0) {
+        // The ROB is program-ordered too: recover the flush position by seq.
+        auto rit = std::lower_bound(t.rob.begin(), t.rob.end(),
+                                    at(violSlot).seq, seqOf);
+        squashFrom(t, static_cast<size_t>(rit - t.rob.begin()),
+                   cfg.branchMispredictPenalty);
+    }
+
+    completeOp(slot);
+}
+
+void
+OooCore::wakeConsumers(InFlight& e)
+{
+    for (size_t i = 0; i < e.consumers.size(); ++i) {
+        const SlotRef r = e.consumers[i];
+        if (!refValid(r))
+            continue;
+        InFlight& c = at(r.slot);
+        if (c.state != OpState::WaitDeps || c.pendingSrcs == 0)
+            continue;
+        if (--c.pendingSrcs == 0)
+            addReady(r.slot);
+    }
+    e.consumers.clear();
+}
+
+void
+OooCore::completeOp(int slot)
+{
+    InFlight& e = at(slot);
+    ThreadCtx& t = threads[e.tid];
+    e.state = OpState::Done;
+    e.valueAvailable = true;
+    wakeConsumers(e);
+
+    if (e.op.isLoad() && !e.eliminated && !e.idealEliminated) {
+        e.loadValueDelivered = true;
+        // Mechanism writeback hooks: MRN trains, Constable arms (steps 4-6
+        // plus the writeback/store race probe).
+        mechs.loadWriteback(*this, t, e);
+        // Value-speculation verification.
+        if (e.vpApplied && e.vpWrong) {
+            ++vpFlushes;
+            mechs.onValueMispredict(e);
+            // Squash everything younger than the mispredicted load.
+            for (size_t i = 0; i < t.rob.size(); ++i) {
+                if (t.rob[i] == slot) {
+                    squashFrom(t, i + 1, cfg.valueMispredictPenalty);
+                    break;
+                }
+            }
+            e.vpWrong = false;
+        }
+    }
+
+    if (e.op.cls == OpClass::Branch && refValid(t.pendingBranch) &&
+        t.pendingBranch.slot == slot) {
+        // Mispredicted branch resolved: redirect after the penalty.
+        t.pendingBranch = SlotRef{};
+        t.frontendBlockedUntil = now + cfg.branchMispredictPenalty;
+        ++fbuBranch;
+    }
+}
+
+void
+OooCore::checkBlockedLoads()
+{
+    size_t w = 0;
+    for (size_t i = 0; i < blockedLoads.size(); ++i) {
+        SlotRef r = blockedLoads[i];
+        if (!refValid(r))
+            continue;
+        InFlight& e = at(r.slot);
+        if (e.state != OpState::Blocked)
+            continue;
+        bool storeGone = !refValid(e.blockingStore) ||
+                         at(e.blockingStore.slot).storeAddrResolved;
+        if (storeGone) {
+            e.state = OpState::Issued;
+            onLoadAgu(r.slot);
+            if (e.state == OpState::Blocked) {
+                // Re-blocked on another store; keep it in the list.
+                blockedLoads[w++] = SlotRef{ r.slot, e.gen };
+            }
+            continue;
+        }
+        blockedLoads[w++] = r;
+    }
+    blockedLoads.resize(w);
+}
+
+void
+OooCore::squashFrom(ThreadCtx& t, size_t rob_pos, Cycle restart_delay)
+{
+    if (rob_pos >= t.rob.size())
+        return;
+    size_t firstTraceIdx = at(t.rob[rob_pos]).traceIdx;
+    SeqNum firstSeq = at(t.rob[rob_pos]).seq;
+
+    for (size_t i = t.rob.size(); i-- > rob_pos;) {
+        int s = t.rob[i];
+        InFlight& e = at(s);
+        if (e.dstReg != kNoReg)
+            t.renameMap[e.dstReg] = e.prevWriter;
+        if (e.inRs)
+            --rsUsed;
+        if (e.state == OpState::Ready)
+            removeReady(s);
+        if (e.op.isLoad())
+            --t.lbUsed;
+        if (e.op.isStore()) {
+            --t.sbUsed;
+            if (e.storeAddrResolved)
+                storeIndexErase(t, s);
+        }
+        mechs.squashOp(e);
+        freeSlot(s);
+    }
+    t.rob.resize(rob_pos);
+
+    // Rebuild the store/load lists from surviving entries.
+    t.storeList.clear();
+    t.loadList.clear();
+    t.unresolvedStores.clear();
+    for (int s : t.rob) {
+        if (at(s).op.isStore()) {
+            t.storeList.push_back(s);
+            if (!at(s).storeAddrResolved)
+                t.unresolvedStores.push_back(s);
+        } else if (at(s).op.isLoad()) {
+            t.loadList.push_back(s);
+        }
+    }
+
+    if (refValid(t.pendingBranch) && at(t.pendingBranch.slot).seq >= firstSeq)
+        t.pendingBranch = SlotRef{};
+
+    t.traceIdx = firstTraceIdx;
+    t.nextSeq = firstSeq;
+    t.frontendBlockedUntil =
+        std::max(t.frontendBlockedUntil, now + restart_delay);
+    ++fbuSquash;
+}
+
+} // namespace constable

@@ -65,6 +65,17 @@ makeTempDir(const char* prefix)
 #endif
 }
 
+/** Parse the comma-separated registry preset names in @p list into out
+ *  via the shared strict parser; fatal() when the list names nothing. */
+void
+appendMechNames(const std::string& what, const std::string& list,
+                std::vector<std::string>& out)
+{
+    if (appendPresetNames(what, list, out) == 0)
+        fatal(what + " names no mechanism presets (known: " +
+              MechanismRegistry::instance().nameList() + ")");
+}
+
 [[noreturn]] void
 printUsage(const char* prog, int exit_code)
 {
@@ -92,15 +103,23 @@ printUsage(const char* prog, int exit_code)
         "seconds\n"
         "  --shard-poll-ms=N   poll interval while waiting on other "
         "shards\n"
+        "  --cost-model=PATH   prior BENCH_perf.json; sharded workers "
+        "claim the\n                      most expensive remaining cells "
+        "first\n"
+        "  --mech=NAME[,NAME...]  run these registry presets instead of "
+        "the\n                      bench's compiled-in figure\n"
+        "  --scenario=FILE     run a declarative scenario file (see "
+        "README)\n"
         "  --help              this text\n"
+        "Mechanism presets: %s\n"
         "Environment: CONSTABLE_THREADS, CONSTABLE_SEED, "
         "CONSTABLE_TRACE_OPS,\nCONSTABLE_SUITE_LIMIT, CONSTABLE_TRACE_DIR, "
         "CONSTABLE_CHECKPOINT_DIR,\nCONSTABLE_TRACE_CACHE_MAX_MB, "
         "CONSTABLE_TRACE_CACHE_MAX_AGE_DAYS,\nCONSTABLE_SHARDS, "
         "CONSTABLE_SHARD_ID, CONSTABLE_LEASE_TTL_SEC,\n"
-        "CONSTABLE_SHARD_POLL_MS (strict-parsed; CLI flags override "
-        "env).\n",
-        prog);
+        "CONSTABLE_SHARD_POLL_MS, CONSTABLE_COST_MODEL, CONSTABLE_MECH,\n"
+        "CONSTABLE_SCENARIO (strict-parsed; CLI flags override env).\n",
+        prog, MechanismRegistry::instance().nameList().c_str());
     std::exit(exit_code);
 }
 
@@ -142,6 +161,12 @@ ExperimentOptions::fromEnv()
         opts.leaseTtlSec = static_cast<unsigned>(*v);
     if (auto v = envU64InRange("CONSTABLE_SHARD_POLL_MS", 1, 60'000))
         opts.shardPollMs = static_cast<unsigned>(*v);
+    if (auto v = envStr("CONSTABLE_COST_MODEL"))
+        opts.costModelPath = *v;
+    if (auto v = envStr("CONSTABLE_MECH"))
+        appendMechNames("CONSTABLE_MECH", *v, opts.mechNames);
+    if (auto v = envStr("CONSTABLE_SCENARIO"))
+        opts.scenarioFile = *v;
     return opts;
 }
 
@@ -150,6 +175,12 @@ ExperimentOptions::fromArgs(int argc, char** argv)
 {
     ExperimentOptions opts = fromEnv();
     const char* prog = argc > 0 ? argv[0] : "bench";
+    // A sweep selection on the command line replaces one from the
+    // environment ("CLI overrides env"), while repeated CLI --mech flags
+    // still accumulate; --mech also displaces an env scenario and vice
+    // versa, so the mutual-exclusion check only fires within one layer.
+    bool mechFromCli = false;
+    bool scenarioFromCli = false;
 
     auto next = [&](int& i, const std::string& flag) -> std::string {
         if (i + 1 >= argc)
@@ -207,6 +238,21 @@ ExperimentOptions::fromArgs(int argc, char** argv)
         } else if (flag == "--shard-poll-ms") {
             opts.shardPollMs = static_cast<unsigned>(
                 parseU64InRange(flag, val(), 1, 60'000));
+        } else if (flag == "--cost-model") {
+            opts.costModelPath = val();
+        } else if (flag == "--mech") {
+            if (!mechFromCli) {
+                opts.mechNames.clear();
+                mechFromCli = true;
+                if (!scenarioFromCli)
+                    opts.scenarioFile.clear();
+            }
+            appendMechNames(flag, val(), opts.mechNames);
+        } else if (flag == "--scenario") {
+            opts.scenarioFile = val();
+            scenarioFromCli = true;
+            if (!mechFromCli)
+                opts.mechNames.clear();
         } else {
             std::fprintf(stderr, "unknown argument '%s'\n", arg.c_str());
             printUsage(prog, 1);
@@ -240,6 +286,7 @@ ExperimentOptions::shard() const
     s.shardId = shardId;
     s.leaseTtlSec = leaseTtlSec;
     s.pollMs = shardPollMs;
+    s.costModelPath = costModelPath;
     s.batch = batch();
     return s;
 }
@@ -508,6 +555,24 @@ Experiment::add(const std::string& config_name, MechanismConfig mech,
 {
     SystemConfig cfg { core, std::move(mech) };
     return add(config_name, [cfg](size_t) { return cfg; });
+}
+
+Experiment&
+Experiment::addPreset(const std::string& preset_name, CoreConfig core)
+{
+    const MechanismPreset& p = MechanismRegistry::instance().get(preset_name);
+    if (!p.perRow)
+        return add(preset_name, mechFor(preset_name), core);
+    if (!suite_->inspected()) {
+        fatal("experiment '" + name_ + "': oracle preset '" + preset_name +
+              "' needs an inspected suite (global-stable PC sets)");
+    }
+    const Suite* s = suite_;
+    std::string name = preset_name;
+    return add(preset_name, [s, name, core](size_t row) {
+        return SystemConfig { core,
+                              mechFor(name, &s->globalStablePcs(row)) };
+    });
 }
 
 Experiment&

@@ -30,6 +30,7 @@
 
 #include "inspector/load_inspector.hh"
 #include "sim/batch.hh"
+#include "sim/mechanisms.hh"
 #include "sim/runner.hh"
 #include "sim/shard.hh"
 #include "trace/generator.hh"
@@ -69,16 +70,27 @@ struct ExperimentOptions
     unsigned leaseTtlSec = 120;
     /** Poll interval while a shard waits on other workers' cells (ms). */
     unsigned shardPollMs = 100;
+    /** Cell cost model for shard-aware scheduling: path to a prior
+     *  BENCH_perf.json whose per-preset Mops/s rank cell expense; workers
+     *  then claim the most expensive remaining cells first. Empty = claim
+     *  in stride order. */
+    std::string costModelPath;
+    /** Registry preset names from --mech / CONSTABLE_MECH: benches run
+     *  this sweep instead of their compiled-in figure
+     *  (sim/scenario.hh: runNamedSweepIfRequested). */
+    std::vector<std::string> mechNames;
+    /** Scenario file from --scenario / CONSTABLE_SCENARIO (ditto). */
+    std::string scenarioFile;
 
     /** All knobs from CONSTABLE_* env vars (strict: malformed -> fatal).
-     *  New: CONSTABLE_SHARDS, CONSTABLE_SHARD_ID, CONSTABLE_LEASE_TTL_SEC,
-     *  CONSTABLE_SHARD_POLL_MS. */
+     *  New: CONSTABLE_MECH, CONSTABLE_SCENARIO, CONSTABLE_COST_MODEL. */
     static ExperimentOptions fromEnv();
 
     /**
      * Env first, then CLI flags override: --threads=N --seed=N
      * --trace-ops=N --suite-limit=N --trace-dir=PATH --checkpoint-dir=PATH
      * --shards=N --shard-id=K --lease-ttl-sec=N --shard-poll-ms=N
+     * --cost-model=PATH --mech=NAME[,NAME...] --scenario=FILE
      * ("--flag value" also accepted). --help prints usage and exits;
      * unknown arguments fatal().
      */
@@ -268,6 +280,15 @@ class Experiment
 
     /** Row-dependent column (e.g. per-workload oracle presets). */
     Experiment& add(const std::string& config_name, ConfigFactory factory);
+
+    /**
+     * Column from a MechanismRegistry preset; the registry name is the
+     * config name, so checkpoint/cell keys derive from registry names.
+     * Oracle (perRow) presets become per-row factories over the suite's
+     * global-stable PC sets and require an inspected suite.
+     */
+    Experiment& addPreset(const std::string& preset_name,
+                          CoreConfig core = CoreConfig{});
 
     size_t numConfigs() const { return factories_.size(); }
 

@@ -5,104 +5,6 @@
 
 namespace constable {
 
-MechanismConfig
-baselineMech()
-{
-    return MechanismConfig{};
-}
-
-MechanismConfig
-constableMech()
-{
-    MechanismConfig m;
-    m.constable.enabled = true;
-    return m;
-}
-
-MechanismConfig
-evesMech()
-{
-    MechanismConfig m;
-    m.eves = true;
-    return m;
-}
-
-MechanismConfig
-evesPlusConstableMech()
-{
-    MechanismConfig m;
-    m.eves = true;
-    m.constable.enabled = true;
-    return m;
-}
-
-MechanismConfig
-elarMech()
-{
-    MechanismConfig m;
-    m.elar = true;
-    return m;
-}
-
-MechanismConfig
-rfpMech()
-{
-    MechanismConfig m;
-    m.rfp = true;
-    return m;
-}
-
-MechanismConfig
-elarPlusConstableMech()
-{
-    MechanismConfig m = elarMech();
-    m.constable.enabled = true;
-    return m;
-}
-
-MechanismConfig
-rfpPlusConstableMech()
-{
-    MechanismConfig m = rfpMech();
-    m.constable.enabled = true;
-    return m;
-}
-
-MechanismConfig
-idealMech(IdealMode mode, std::unordered_set<PC> pcs)
-{
-    MechanismConfig m;
-    m.ideal.mode = mode;
-    m.ideal.stablePcs = std::move(pcs);
-    return m;
-}
-
-MechanismConfig
-evesPlusIdealConstableMech(std::unordered_set<PC> pcs)
-{
-    MechanismConfig m = idealMech(IdealMode::Constable, std::move(pcs));
-    m.eves = true;
-    return m;
-}
-
-MechanismConfig
-constableModeOnlyMech(AddrMode mode)
-{
-    MechanismConfig m = constableMech();
-    m.constable.eliminatePcRel = mode == AddrMode::PcRel;
-    m.constable.eliminateStackRel = mode == AddrMode::StackRel;
-    m.constable.eliminateRegRel = mode == AddrMode::RegRel;
-    return m;
-}
-
-MechanismConfig
-constableAmtIMech()
-{
-    MechanismConfig m = constableMech();
-    m.constable.cvBitPinning = false;
-    return m;
-}
-
 RunResult
 runTrace(const Trace& trace, const SystemConfig& cfg,
          const std::unordered_set<PC>* gs)

@@ -1,8 +1,9 @@
 /**
  * @file
- * System wiring and experiment helpers: mechanism presets matching the
- * paper's evaluated configurations (§8.4), single-trace and SMT2 drivers,
- * trace relocation for SMT address-space separation, and speedup math.
+ * System wiring: single-trace and SMT2 drivers, trace relocation for SMT
+ * address-space separation, and speedup math. Mechanism presets live in
+ * the MechanismRegistry (sim/mechanisms.hh); resolve them by name with
+ * mechFor("constable") etc.
  */
 
 #ifndef CONSTABLE_SIM_RUNNER_HH
@@ -25,28 +26,6 @@ struct SystemConfig
     CoreConfig core;
     MechanismConfig mech;
 };
-
-// --- mechanism presets (the baseline always includes MRN + folding) ---
-MechanismConfig baselineMech();
-MechanismConfig constableMech();
-MechanismConfig evesMech();
-MechanismConfig evesPlusConstableMech();
-MechanismConfig elarMech();
-MechanismConfig rfpMech();
-MechanismConfig elarPlusConstableMech();
-MechanismConfig rfpPlusConstableMech();
-
-/** Oracle preset over offline-identified global-stable PCs (Fig 7). */
-MechanismConfig idealMech(IdealMode mode, std::unordered_set<PC> pcs);
-
-/** EVES + Ideal Constable (Fig 11/16 upper bound). */
-MechanismConfig evesPlusIdealConstableMech(std::unordered_set<PC> pcs);
-
-/** Restrict Constable elimination to one addressing mode (Fig 13). */
-MechanismConfig constableModeOnlyMech(AddrMode mode);
-
-/** Constable-AMT-I variant: no CV-bit pinning (Fig 22). */
-MechanismConfig constableAmtIMech();
 
 /** Run one trace on one core. @param gs optional stats-classification set. */
 RunResult runTrace(const Trace& trace, const SystemConfig& cfg,

@@ -2,9 +2,14 @@
 
 #include <algorithm>
 #include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
 #include <filesystem>
+#include <mutex>
 #include <system_error>
 #include <thread>
+#include <unordered_map>
 
 #include "common/logging.hh"
 
@@ -61,6 +66,164 @@ effectiveThreads(const BatchOptions& b)
     return std::max(1u, std::min(hw == 0 ? 1u : hw, 16u));
 }
 
+/**
+ * Background mtime refresh of a held lease while its cell computes, so a
+ * fleet can run lease TTLs far shorter than the worst-case cell time
+ * (fast crash recovery) without a live worker's cell being benignly
+ * double-computed by a reclaimer. The thread dies with the process
+ * (SIGKILL included), leaving the mtime to go stale exactly as before --
+ * crashed workers' cells are still reclaimed.
+ */
+class LeaseHeartbeat
+{
+  public:
+    LeaseHeartbeat(std::string path, unsigned ttl_sec)
+        : path_(std::move(path)),
+          interval_(std::max(50u, ttl_sec * 1000u / 4))
+    {
+        thread_ = std::thread([this] { loop(); });
+    }
+
+    ~LeaseHeartbeat()
+    {
+        {
+            std::lock_guard<std::mutex> lk(mu_);
+            stop_ = true;
+        }
+        cv_.notify_one();
+        thread_.join();
+    }
+
+    LeaseHeartbeat(const LeaseHeartbeat&) = delete;
+    LeaseHeartbeat& operator=(const LeaseHeartbeat&) = delete;
+
+  private:
+    void
+    loop()
+    {
+        std::unique_lock<std::mutex> lk(mu_);
+        while (!cv_.wait_for(lk, interval_, [this] { return stop_; })) {
+            std::error_code ec;
+            fs::last_write_time(path_, fs::file_time_type::clock::now(),
+                                ec);
+        }
+    }
+
+    std::string path_;
+    std::chrono::milliseconds interval_;
+    std::thread thread_;
+    std::mutex mu_;
+    std::condition_variable cv_;
+    bool stop_ = false;
+};
+
+bool
+readWholeFile(const std::string& path, std::string& out)
+{
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        return false;
+    std::fseek(f, 0, SEEK_END);
+    long sz = std::ftell(f);
+    std::fseek(f, 0, SEEK_SET);
+    out.resize(sz > 0 ? static_cast<size_t>(sz) : 0);
+    size_t got = std::fread(out.data(), 1, out.size(), f);
+    std::fclose(f);
+    return got == out.size();
+}
+
+/** Per-preset Mops/s from the "presets" array of a BENCH_perf.json (the
+ *  format bench/perf_regression.cc emits); empty map when unparsable. */
+std::unordered_map<std::string, double>
+parsePerfPresets(const std::string& json)
+{
+    std::unordered_map<std::string, double> mops;
+    size_t pos = 0;
+    for (;;) {
+        size_t at = json.find("\"name\":\"", pos);
+        if (at == std::string::npos)
+            break;
+        size_t nameStart = at + 8;
+        size_t nameEnd = json.find('"', nameStart);
+        if (nameEnd == std::string::npos)
+            break;
+        std::string name = json.substr(nameStart, nameEnd - nameStart);
+        size_t next = json.find("\"name\":\"", nameEnd);
+        size_t mopsAt = json.find("\"mops_per_sec\":", nameEnd);
+        if (mopsAt != std::string::npos &&
+            (next == std::string::npos || mopsAt < next)) {
+            mops[name] =
+                std::strtod(json.c_str() + mopsAt + 15, nullptr);
+        }
+        pos = nameEnd;
+    }
+    return mops;
+}
+
+/**
+ * The order a worker scans cells for claiming. Default: stride rotation
+ * by shard id (freshly launched fleets fan out instead of racing on cell
+ * 0). With a cost model (a prior BENCH_perf.json), the most expensive
+ * configs come first -- cost = 1 / recorded Mops/s, rows ascending within
+ * a config -- which shrinks the tail where one worker holds the last big
+ * cell while everyone else polls. Claim order never affects results
+ * (cells are deterministic); only wall-clock.
+ */
+std::vector<size_t>
+buildClaimOrder(const SweepManifest& m, const ShardOptions& opts)
+{
+    const size_t n = m.numCells();
+    std::vector<size_t> order(n);
+    for (size_t i = 0; i < n; ++i)
+        order[i] = i;
+
+    if (!opts.costModelPath.empty()) {
+        std::string json;
+        if (readWholeFile(opts.costModelPath, json)) {
+            auto mops = parsePerfPresets(json);
+            std::vector<double> cost(m.numConfigs, 0.0);
+            double sum = 0.0;
+            size_t known = 0;
+            for (size_t c = 0; c < m.numConfigs; ++c) {
+                auto it = mops.find(m.configNames[c]);
+                if (it != mops.end() && it->second > 0.0) {
+                    cost[c] = 1.0 / it->second;
+                    sum += cost[c];
+                    ++known;
+                }
+            }
+            if (known > 0) {
+                // Presets the model has never timed get the mean known
+                // cost: neither hoarded first nor starved to the tail.
+                double fallback = sum / static_cast<double>(known);
+                for (size_t c = 0; c < m.numConfigs; ++c) {
+                    if (cost[c] == 0.0)
+                        cost[c] = fallback;
+                }
+                std::stable_sort(order.begin(), order.end(),
+                                 [&](size_t a, size_t b) {
+                                     return cost[a % m.numConfigs] >
+                                            cost[b % m.numConfigs];
+                                 });
+                return order;
+            }
+        }
+        if (opts.shardId <= 0) {
+            warn("cost model '" + opts.costModelPath +
+                 "' missing or unparsable; claiming cells in stride order");
+        }
+    }
+
+    if (opts.shardId > 0 && opts.shards > 1) {
+        size_t offset =
+            (static_cast<size_t>(opts.shardId) * n) / opts.shards;
+        std::rotate(order.begin(),
+                    order.begin() + static_cast<ptrdiff_t>(offset),
+                    order.end());
+    }
+    return order;
+}
+
 /** Mutable per-process view of the claim loop. */
 struct WorkerCtx
 {
@@ -72,23 +235,19 @@ struct WorkerCtx
     /** Cell known complete (its checkpoint file was observed). Written
      *  concurrently from batch jobs, but each job owns distinct indices. */
     std::vector<uint8_t> done;
+    /** Claim-scan order (buildClaimOrder): cost-ranked or stride-rotated. */
+    std::vector<size_t> claimOrder;
 };
 
 /**
- * One claim pass: scan cells in shard-strided order, claim up to one per
- * local thread (so a queued claim's lease never sits idle long enough to
- * go stale), compute + commit + release. Returns cells computed.
+ * One claim pass: scan cells in claim order, claim up to one per local
+ * thread (so a queued claim's lease never sits idle long enough to go
+ * stale), compute + commit + release. Returns cells computed.
  */
 size_t
 workerPass(WorkerCtx& ctx)
 {
     const size_t n = ctx.m.numCells();
-    // Stride the scan start by shard id so a fleet of freshly launched
-    // workers fans out across the matrix instead of racing on cell 0.
-    const size_t offset =
-        ctx.opts.shardId > 0 && ctx.opts.shards > 1
-            ? (static_cast<size_t>(ctx.opts.shardId) * n) / ctx.opts.shards
-            : 0;
     const size_t maxClaims =
         std::max<size_t>(1, effectiveThreads(ctx.opts.batch));
     const double ttl = static_cast<double>(ctx.opts.leaseTtlSec);
@@ -96,7 +255,7 @@ workerPass(WorkerCtx& ctx)
     std::vector<size_t> claimed;
     LeaseRecord lease = makeLease(ctx.opts.shardId);
     for (size_t i = 0; i < n && claimed.size() < maxClaims; ++i) {
-        size_t c = (i + offset) % n;
+        size_t c = ctx.claimOrder[i];
         if (ctx.done[c])
             continue;
         if (fileExists(cellFilePath(ctx.dir, ctx.m, c))) {
@@ -131,11 +290,16 @@ workerPass(WorkerCtx& ctx)
         // mtime so its TTL measures compute time, not queue time.
         std::error_code ec;
         fs::last_write_time(lp, fs::file_time_type::clock::now(), ec);
-        RunResult r = ctx.compute(c);
-        if (!saveRunResult(cellFilePath(ctx.dir, ctx.m, c), r,
-                           /*durable=*/true)) {
-            fatal("shard worker cannot write cell checkpoint in '" +
-                  ctx.dir + "'");
+        {
+            // Keep the lease fresh for as long as the cell computes (and
+            // commits): the TTL can now be shorter than a cell.
+            LeaseHeartbeat heartbeat(lp, ctx.opts.leaseTtlSec);
+            RunResult r = ctx.compute(c);
+            if (!saveRunResult(cellFilePath(ctx.dir, ctx.m, c), r,
+                               /*durable=*/true)) {
+                fatal("shard worker cannot write cell checkpoint in '" +
+                      ctx.dir + "'");
+            }
         }
         removeLease(lp);
         ctx.done[c] = 1;
@@ -187,8 +351,9 @@ forkWorkers(const std::string& dir, const SweepManifest& m,
             ShardOptions w = opts;
             w.shardId = static_cast<int>(k);
             w.batch.threads = 1; // never touch the inherited pool
-            WorkerCtx ctx { dir, m, compute, w, {}, {} };
+            WorkerCtx ctx { dir, m, compute, w, {}, {}, {} };
             ctx.done.assign(m.numCells(), 0);
+            ctx.claimOrder = buildClaimOrder(m, w);
             workerLoop(ctx);
             std::fflush(nullptr);
             ::_exit(0);
@@ -314,8 +479,9 @@ runShardedCells(const std::string& dir, const SweepManifest& m,
         // Worker mode: independently launched process of a fleet sharing
         // this directory. Claim until the matrix is complete, then merge
         // so every shard returns the same full result.
-        WorkerCtx ctx { dir, m, compute, opts, outcome, {} };
+        WorkerCtx ctx { dir, m, compute, opts, outcome, {}, {} };
         ctx.done.assign(m.numCells(), 0);
+        ctx.claimOrder = buildClaimOrder(m, opts);
         workerLoop(ctx);
         outcome = ctx.outcome;
         mergeShardedCells(dir, m, &compute, out, opts, outcome);
@@ -327,8 +493,9 @@ runShardedCells(const std::string& dir, const SweepManifest& m,
     forkWorkers(dir, m, compute, opts, outcome);
 #else
     // No fork(): compute everything here, still via the lease protocol.
-    WorkerCtx ctx { dir, m, compute, opts, outcome, {} };
+    WorkerCtx ctx { dir, m, compute, opts, outcome, {}, {} };
     ctx.done.assign(m.numCells(), 0);
+    ctx.claimOrder = buildClaimOrder(m, opts);
     workerLoop(ctx);
     outcome = ctx.outcome;
 #endif

@@ -552,7 +552,7 @@ TEST(Engine, PinnedVariantIgnoresL1Evict)
 TEST(Engine, AmtIEvictOfOtherLineKeepsElimination)
 {
     ConstableConfig cfg;
-    cfg.cvBitPinning = false; // the constableAmtIMech() variant
+    cfg.cvBitPinning = false; // the mechFor("constable-amt-i") variant
     ConstableEngine e(cfg);
     warmUntilArmed(e, 0x100, 0x5000, 42);
     ASSERT_TRUE(e.renameLoad(0x100, AddrMode::PcRel).eliminate);

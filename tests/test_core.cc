@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include "inspector/load_inspector.hh"
+#include "sim/mechanisms.hh"
 #include "sim/runner.hh"
 #include "workloads/suite.hh"
 
@@ -35,28 +36,27 @@ class GoldenCheck
 {
   public:
     static MechanismConfig
-    mechFor(int id, const Trace& trace)
+    mechConfigFor(int id, const Trace& trace)
     {
         switch (id) {
-          case 0: return baselineMech();
-          case 1: return constableMech();
-          case 2: return evesMech();
-          case 3: return evesPlusConstableMech();
-          case 4: return elarMech();
-          case 5: return rfpMech();
-          case 6: return constableAmtIMech();
+          case 0: return mechFor("baseline");
+          case 1: return mechFor("constable");
+          case 2: return mechFor("eves");
+          case 3: return mechFor("eves+constable");
+          case 4: return mechFor("elar");
+          case 5: return mechFor("rfp");
+          case 6: return mechFor("constable-amt-i");
           case 7: {
-              auto insp = inspectLoads(trace);
-              return idealMech(IdealMode::Constable, insp.globalStablePcs());
+              auto gs = inspectLoads(trace).globalStablePcs();
+              return mechFor("ideal-constable", &gs);
           }
           case 8: {
-              auto insp = inspectLoads(trace);
-              return idealMech(IdealMode::StableLvp, insp.globalStablePcs());
+              auto gs = inspectLoads(trace).globalStablePcs();
+              return mechFor("ideal-stable-lvp", &gs);
           }
           default: {
-              auto insp = inspectLoads(trace);
-              return idealMech(IdealMode::StableLvpNoFetch,
-                               insp.globalStablePcs());
+              auto gs = inspectLoads(trace).globalStablePcs();
+              return mechFor("ideal-stable-lvp-nofetch", &gs);
           }
         }
     }
@@ -66,7 +66,7 @@ TEST_P(GoldenCheck, EveryRetiredLoadMatchesFunctionalModel)
 {
     auto [category, mechanism] = GetParam();
     Trace t = smokeTrace(category);
-    SystemConfig cfg { CoreConfig{}, GoldenCheck::mechFor(mechanism, t) };
+    SystemConfig cfg { CoreConfig{}, GoldenCheck::mechConfigFor(mechanism, t) };
     // runTrace() panics on a golden-check failure; also verify invariants.
     RunResult r = runTrace(t, cfg);
     EXPECT_FALSE(r.goldenCheckFailed);
@@ -85,7 +85,7 @@ INSTANTIATE_TEST_SUITE_P(
 TEST(Core, DeterministicCycles)
 {
     Trace t = smokeTrace(0, 10'000);
-    SystemConfig cfg { CoreConfig{}, constableMech() };
+    SystemConfig cfg { CoreConfig{}, mechFor("constable") };
     RunResult a = runTrace(t, cfg);
     RunResult b = runTrace(t, cfg);
     EXPECT_EQ(a.cycles, b.cycles);
@@ -96,7 +96,7 @@ TEST(Core, DeterministicCycles)
 TEST(Core, ConstableEliminatesSubstantialFraction)
 {
     Trace t = smokeTrace(1, 40'000); // Enterprise: stable-heavy
-    RunResult r = runTrace(t, { CoreConfig{}, constableMech() });
+    RunResult r = runTrace(t, { CoreConfig{}, mechFor("constable") });
     double frac = r.stats.get("loads.eliminated") /
                   r.stats.get("loads.retired");
     EXPECT_GT(frac, 0.10);
@@ -106,15 +106,15 @@ TEST(Core, ConstableEliminatesSubstantialFraction)
 TEST(Core, BaselineNeverEliminates)
 {
     Trace t = smokeTrace(0, 10'000);
-    RunResult r = runTrace(t, { CoreConfig{}, baselineMech() });
+    RunResult r = runTrace(t, { CoreConfig{}, mechFor("baseline") });
     EXPECT_DOUBLE_EQ(r.stats.get("loads.eliminated"), 0.0);
 }
 
 TEST(Core, ConstableReducesRsAllocationsAndL1dAccesses)
 {
     Trace t = smokeTrace(1, 40'000);
-    RunResult base = runTrace(t, { CoreConfig{}, baselineMech() });
-    RunResult cons = runTrace(t, { CoreConfig{}, constableMech() });
+    RunResult base = runTrace(t, { CoreConfig{}, mechFor("baseline") });
+    RunResult cons = runTrace(t, { CoreConfig{}, mechFor("constable") });
     EXPECT_LT(cons.stats.get("rs.allocs"), base.stats.get("rs.allocs"));
     EXPECT_LT(cons.stats.get("mem.l1d.reads"),
               base.stats.get("mem.l1d.reads"));
@@ -148,7 +148,7 @@ TEST(Core, AdversarialStoreRaceIsCaughtByDisambiguation)
     }
     Trace t = b.finish("race", "Test");
     ASSERT_TRUE(validateTrace(t).empty());
-    RunResult r = runTrace(t, { CoreConfig{}, constableMech() });
+    RunResult r = runTrace(t, { CoreConfig{}, mechFor("constable") });
     EXPECT_FALSE(r.goldenCheckFailed);
     EXPECT_GT(r.stats.get("loads.eliminated"), 0.0);
 }
@@ -167,7 +167,7 @@ TEST(Core, SnoopResetsEliminationMidTrace)
             b.snoopHere(0x5000);
     }
     Trace t = b.finish("snoop", "Test");
-    RunResult r = runTrace(t, { CoreConfig{}, constableMech() });
+    RunResult r = runTrace(t, { CoreConfig{}, mechFor("constable") });
     EXPECT_FALSE(r.goldenCheckFailed);
     EXPECT_GT(r.stats.get("constable.amt.invalidations"), 0.0);
 }
@@ -179,11 +179,11 @@ TEST(Core, IdealConstableBeatsIdealStableLvp)
     Trace t = smokeTrace(4, 40'000); // Server: stable-heavy
     auto insp = inspectLoads(t);
     auto pcs = insp.globalStablePcs();
-    RunResult base = runTrace(t, { CoreConfig{}, baselineMech() });
+    RunResult base = runTrace(t, { CoreConfig{}, mechFor("baseline") });
     RunResult lvp = runTrace(
-        t, { CoreConfig{}, idealMech(IdealMode::StableLvp, pcs) });
+        t, { CoreConfig{}, mechFor("ideal-stable-lvp", &pcs) });
     RunResult cons = runTrace(
-        t, { CoreConfig{}, idealMech(IdealMode::Constable, pcs) });
+        t, { CoreConfig{}, mechFor("ideal-constable", &pcs) });
     EXPECT_GE(speedup(lvp, base), 0.99);
     EXPECT_GT(speedup(cons, base), speedup(lvp, base));
 }
@@ -193,11 +193,11 @@ TEST(Core, IdealNoFetchBetweenLvpAndConstable)
     Trace t = smokeTrace(4, 40'000);
     auto pcs = inspectLoads(t).globalStablePcs();
     RunResult lvp = runTrace(
-        t, { CoreConfig{}, idealMech(IdealMode::StableLvp, pcs) });
+        t, { CoreConfig{}, mechFor("ideal-stable-lvp", &pcs) });
     RunResult nofetch = runTrace(
-        t, { CoreConfig{}, idealMech(IdealMode::StableLvpNoFetch, pcs) });
+        t, { CoreConfig{}, mechFor("ideal-stable-lvp-nofetch", &pcs) });
     RunResult cons = runTrace(
-        t, { CoreConfig{}, idealMech(IdealMode::Constable, pcs) });
+        t, { CoreConfig{}, mechFor("ideal-constable", &pcs) });
     EXPECT_GE(static_cast<double>(lvp.cycles) + 1,
               static_cast<double>(nofetch.cycles));
     EXPECT_GE(static_cast<double>(nofetch.cycles) + 1,
@@ -210,8 +210,8 @@ TEST(Core, WiderLoadExecutionHelpsBaseline)
     CoreConfig narrow;
     CoreConfig wide;
     wide.loadPorts = 6;
-    RunResult rn = runTrace(t, { narrow, baselineMech() });
-    RunResult rw = runTrace(t, { wide, baselineMech() });
+    RunResult rn = runTrace(t, { narrow, mechFor("baseline") });
+    RunResult rw = runTrace(t, { wide, mechFor("baseline") });
     EXPECT_LE(rw.cycles, rn.cycles);
 }
 
@@ -220,8 +220,8 @@ TEST(Core, DeeperPipelineHelpsBaseline)
     Trace t = smokeTrace(2, 40'000);
     CoreConfig deep;
     deep.depthScale = 2.0;
-    RunResult r1 = runTrace(t, { CoreConfig{}, baselineMech() });
-    RunResult r2 = runTrace(t, { deep, baselineMech() });
+    RunResult r1 = runTrace(t, { CoreConfig{}, mechFor("baseline") });
+    RunResult r2 = runTrace(t, { deep, mechFor("baseline") });
     EXPECT_LE(r2.cycles, r1.cycles + r1.cycles / 50);
 }
 
@@ -229,7 +229,7 @@ TEST(Core, ModeFilteredRunsEliminateOnlyThatMode)
 {
     Trace t = smokeTrace(1, 40'000);
     RunResult r = runTrace(
-        t, { CoreConfig{}, constableModeOnlyMech(AddrMode::StackRel) });
+        t, { CoreConfig{}, mechFor("constable-stackrel") });
     EXPECT_GT(r.stats.get("loads.elim.stackRel"), 0.0);
     EXPECT_DOUBLE_EQ(r.stats.get("loads.elim.pcRel"), 0.0);
     EXPECT_DOUBLE_EQ(r.stats.get("loads.elim.regRel"), 0.0);
@@ -239,7 +239,7 @@ TEST(Core, EliminationViolationsAreRare)
 {
     // Paper Fig 21a: only ~0.09% of eliminated loads violate ordering.
     Trace t = smokeTrace(1, 40'000);
-    RunResult r = runTrace(t, { CoreConfig{}, constableMech() });
+    RunResult r = runTrace(t, { CoreConfig{}, mechFor("constable") });
     double frac = ratio(r.stats.get("ordering.elimViolations"),
                         r.stats.get("loads.eliminated"));
     EXPECT_LT(frac, 0.02);
@@ -248,7 +248,7 @@ TEST(Core, EliminationViolationsAreRare)
 TEST(Core, XprfRejectionsAreBounded)
 {
     Trace t = smokeTrace(1, 40'000);
-    RunResult r = runTrace(t, { CoreConfig{}, constableMech() });
+    RunResult r = runTrace(t, { CoreConfig{}, mechFor("constable") });
     double frac = ratio(r.stats.get("constable.xprfRejected"),
                         r.stats.get("loads.eliminated") +
                             r.stats.get("constable.xprfRejected"));
@@ -260,8 +260,8 @@ TEST(Core, WrongPathUpdatesLoseLittlePerformance)
     // Paper Fig 9b: enabling wrong-path updates changes performance by a
     // small amount.
     Trace t = smokeTrace(3, 40'000); // ISPEC: branchy
-    MechanismConfig on = constableMech();
-    MechanismConfig off = constableMech();
+    MechanismConfig on = mechFor("constable");
+    MechanismConfig off = mechFor("constable");
     off.constable.wrongPathUpdates = false;
     RunResult ron = runTrace(t, { CoreConfig{}, on });
     RunResult roff = runTrace(t, { CoreConfig{}, off });
@@ -274,7 +274,7 @@ TEST(Core, SldUpdateRateMatchesPaperScale)
     // Paper Fig 9a: ~0.28 SLD updates/cycle on average; we require the
     // same order of magnitude.
     Trace t = smokeTrace(1, 40'000);
-    RunResult r = runTrace(t, { CoreConfig{}, constableMech() });
+    RunResult r = runTrace(t, { CoreConfig{}, mechFor("constable") });
     EXPECT_LT(r.stats.get("sld.updates.perCycle"), 1.5);
 }
 
@@ -284,7 +284,7 @@ TEST(Smt, RunsAndPassesGoldenCheck)
 {
     Trace a = smokeTrace(0, 15'000);
     Trace b = smokeTrace(4, 15'000);
-    RunResult r = runSmtPair(a, b, { CoreConfig{}, baselineMech() });
+    RunResult r = runSmtPair(a, b, { CoreConfig{}, mechFor("baseline") });
     EXPECT_FALSE(r.goldenCheckFailed);
     EXPECT_EQ(r.instructions, a.size() + b.size());
 }
@@ -293,7 +293,7 @@ TEST(Smt, SharingBeatsSerialExecution)
 {
     Trace a = smokeTrace(0, 15'000);
     Trace b = smokeTrace(4, 15'000);
-    SystemConfig cfg { CoreConfig{}, baselineMech() };
+    SystemConfig cfg { CoreConfig{}, mechFor("baseline") };
     RunResult smt = runSmtPair(a, b, cfg);
     RunResult sa = runTrace(a, cfg);
     RunResult sb = runTrace(b, cfg);
@@ -304,8 +304,8 @@ TEST(Smt, ConstableWorksUnderSmt)
 {
     Trace a = smokeTrace(1, 15'000);
     Trace b = smokeTrace(4, 15'000);
-    RunResult base = runSmtPair(a, b, { CoreConfig{}, baselineMech() });
-    RunResult cons = runSmtPair(a, b, { CoreConfig{}, constableMech() });
+    RunResult base = runSmtPair(a, b, { CoreConfig{}, mechFor("baseline") });
+    RunResult cons = runSmtPair(a, b, { CoreConfig{}, mechFor("constable") });
     EXPECT_FALSE(cons.goldenCheckFailed);
     EXPECT_GT(cons.stats.get("loads.eliminated"), 0.0);
     EXPECT_GT(speedup(cons, base), 0.97);
@@ -340,16 +340,17 @@ TEST(Runner, ParallelForCoversAllIndices)
 
 TEST(Runner, PresetsSelectMechanisms)
 {
-    EXPECT_FALSE(baselineMech().constable.enabled);
-    EXPECT_TRUE(baselineMech().mrn);
-    EXPECT_TRUE(constableMech().constable.enabled);
-    EXPECT_TRUE(evesMech().eves);
-    EXPECT_TRUE(evesPlusConstableMech().eves);
-    EXPECT_TRUE(evesPlusConstableMech().constable.enabled);
-    EXPECT_TRUE(elarMech().elar);
-    EXPECT_TRUE(rfpMech().rfp);
-    EXPECT_FALSE(constableAmtIMech().constable.cvBitPinning);
-    auto ideal = idealMech(IdealMode::Constable, { 0x100 });
+    EXPECT_FALSE(mechFor("baseline").constable.enabled);
+    EXPECT_TRUE(mechFor("baseline").mrn);
+    EXPECT_TRUE(mechFor("constable").constable.enabled);
+    EXPECT_TRUE(mechFor("eves").eves);
+    EXPECT_TRUE(mechFor("eves+constable").eves);
+    EXPECT_TRUE(mechFor("eves+constable").constable.enabled);
+    EXPECT_TRUE(mechFor("elar").elar);
+    EXPECT_TRUE(mechFor("rfp").rfp);
+    EXPECT_FALSE(mechFor("constable-amt-i").constable.cvBitPinning);
+    std::unordered_set<PC> idealPcs { 0x100 };
+    auto ideal = mechFor("ideal-constable", &idealPcs);
     EXPECT_EQ(static_cast<int>(ideal.ideal.mode),
               static_cast<int>(IdealMode::Constable));
     EXPECT_EQ(ideal.ideal.stablePcs.size(), 1u);
@@ -370,7 +371,7 @@ runWithDivLatency(unsigned div_lat)
     Trace t = b.finish("wheel-edge", "Test");
     CoreConfig cfg;
     cfg.divLat = div_lat;
-    return runTrace(t, { cfg, baselineMech() });
+    return runTrace(t, { cfg, mechFor("baseline") });
 }
 
 TEST(FastForward, EventAtWheelBoundaryIsCycleExact)

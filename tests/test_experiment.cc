@@ -117,7 +117,7 @@ TEST(RunResultSerialize, RoundTripPreservesStatsBitExactly)
 {
     auto specs = twoSpecs();
     Trace t = generateTrace(specs[0]);
-    RunResult r = runTrace(t, { CoreConfig{}, constableMech() });
+    RunResult r = runTrace(t, { CoreConfig{}, mechFor("constable") });
     r.stats.set("test.awkward", 0.1 + 0.2); // not exactly representable
 
     auto bytes = serializeRunResult(r);
@@ -187,8 +187,8 @@ TEST_F(TraceCache, CacheHitProducesIdenticalRunResult)
 
     auto runBoth = [&](const Suite& suite) {
         return Experiment("cachecheck", suite, opts)
-            .add("baseline", baselineMech())
-            .add("constable", constableMech())
+            .add("baseline", mechFor("baseline"))
+            .add("constable", mechFor("constable"))
             .run();
     };
     Suite cold = Suite::fromSpecs(twoSpecs(), opts);
@@ -247,9 +247,9 @@ TEST_F(Checkpoint, ResumeFromPartialCheckpointIsBitIdentical)
 
     auto makeExp = [&](const ExperimentOptions& o) {
         Experiment e("resume", suite, o);
-        e.add("baseline", baselineMech())
-            .add("eves", evesMech())
-            .add("constable", constableMech());
+        e.add("baseline", mechFor("baseline"))
+            .add("eves", mechFor("eves"))
+            .add("constable", mechFor("constable"));
         return e;
     };
 
@@ -297,7 +297,7 @@ TEST_F(Checkpoint, SmtSweepCheckpointsSeparatelyFromNoSmt)
 
     auto makeExp = [&]() {
         Experiment e("smt-vs-not", suite, ck);
-        e.add("baseline", baselineMech());
+        e.add("baseline", mechFor("baseline"));
         return e;
     };
     auto plain = makeExp().run();
@@ -387,13 +387,13 @@ TEST(Experiment, MatchesDirectRunMatrixBitExactly)
     Suite suite = Suite::fromSpecs(twoSpecs(), opts);
 
     auto res = Experiment("parity", suite, opts)
-                   .add("baseline", baselineMech())
-                   .add("constable", constableMech())
+                   .add("baseline", mechFor("baseline"))
+                   .add("constable", mechFor("constable"))
                    .run();
 
     std::vector<SystemConfig> configs = {
-        { CoreConfig{}, baselineMech() },
-        { CoreConfig{}, constableMech() },
+        { CoreConfig{}, mechFor("baseline") },
+        { CoreConfig{}, mechFor("constable") },
     };
     MatrixResult direct =
         runMatrix(suite.tracePtrs(), configs, suite.gsPtrs(), opts.batch());
@@ -415,7 +415,7 @@ TEST(ExperimentDeathTest, UnknownConfigNameIsFatal)
     specs.resize(1);
     Suite suite = Suite::fromSpecs(specs, opts);
     auto res = Experiment("names", suite, opts)
-                   .add("baseline", baselineMech())
+                   .add("baseline", mechFor("baseline"))
                    .run();
     EXPECT_EXIT(res.at(0, "typo"), ::testing::ExitedWithCode(1),
                 "no configuration named");

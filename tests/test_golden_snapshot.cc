@@ -47,33 +47,6 @@ struct PresetCase
     const char* expected; ///< 16-hex-digit fingerprint
 };
 
-/** The 16 evaluated mechanism presets (§8.4 plus the Fig 7 oracles, the
- *  Fig 13 addressing-mode filters and the Fig 22 AMT-I variant). */
-MechanismConfig
-presetMech(size_t i, const std::unordered_set<PC>& gs)
-{
-    switch (i) {
-      case 0: return baselineMech();
-      case 1: return constableMech();
-      case 2: return evesMech();
-      case 3: return evesPlusConstableMech();
-      case 4: return elarMech();
-      case 5: return rfpMech();
-      case 6: return elarPlusConstableMech();
-      case 7: return rfpPlusConstableMech();
-      case 8: return constableModeOnlyMech(AddrMode::PcRel);
-      case 9: return constableModeOnlyMech(AddrMode::StackRel);
-      case 10: return constableModeOnlyMech(AddrMode::RegRel);
-      case 11: return constableAmtIMech();
-      case 12: return idealMech(IdealMode::StableLvp, gs);
-      case 13: return idealMech(IdealMode::StableLvpNoFetch, gs);
-      case 14: return idealMech(IdealMode::Constable, gs);
-      case 15: return evesPlusIdealConstableMech(gs);
-    }
-    ADD_FAILURE() << "unknown preset " << i;
-    return baselineMech();
-}
-
 std::string
 hex16(uint64_t v)
 {
@@ -107,13 +80,20 @@ TEST(GoldenSnapshot, NoSmtPresetsBitIdentical)
     Suite suite = Suite::prepare(snapshotOpts(), true);
     ASSERT_EQ(suite.size(), 4u);
 
+    // The case table's names ARE registry keys: presets resolve through
+    // MechanismRegistry, and the unchanged fingerprints prove the
+    // registry-built configs bit-identical to the deleted factories.
+    const auto& presets = MechanismRegistry::instance().presets();
+    ASSERT_EQ(presets.size(), 16u);
     for (size_t p = 0; p < 16; ++p) {
+        ASSERT_EQ(presets[p].name, kCases[p].name)
+            << "registry order drifted from the snapshot table";
         // One fingerprint per preset over every suite row: chain the FNV
         // hashes of each row's serialized RunResult.
         uint64_t fp = 0xcbf29ce484222325ull;
         for (size_t row = 0; row < suite.size(); ++row) {
             const auto& gs = suite.globalStablePcs(row);
-            SystemConfig cfg { CoreConfig{}, presetMech(p, gs) };
+            SystemConfig cfg { CoreConfig{}, mechFor(kCases[p].name, &gs) };
             RunResult r = runTrace(suite.trace(row), cfg, &gs);
             EXPECT_FALSE(r.goldenCheckFailed)
                 << kCases[p].name << ": " << r.goldenCheckMessage;
@@ -140,7 +120,7 @@ TEST(GoldenSnapshot, Smt2PresetsBitIdentical)
         uint64_t fp = 0xcbf29ce484222325ull;
         for (const auto& [t0, t1] : pairs) {
             SystemConfig cfg { CoreConfig{},
-                               p == 0 ? baselineMech() : constableMech() };
+                               p == 0 ? mechFor("baseline") : mechFor("constable") };
             cfg.core.smt2 = true;
             RunResult r = runSmtPair(*t0, *t1, cfg);
             EXPECT_FALSE(r.goldenCheckFailed)

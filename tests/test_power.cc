@@ -8,6 +8,7 @@
 
 #include "core/storage.hh"
 #include "power/power.hh"
+#include "sim/mechanisms.hh"
 #include "sim/runner.hh"
 #include "workloads/suite.hh"
 
@@ -103,8 +104,8 @@ TEST(Power, ConstableReducesCoreDynamicEnergy)
     // allocation and L1D access reductions) despite its own structures.
     auto specs = smokeSuite(40'000);
     Trace t = generateTrace(specs[1]); // Enterprise
-    RunResult base = runTrace(t, { CoreConfig{}, baselineMech() });
-    RunResult cons = runTrace(t, { CoreConfig{}, constableMech() });
+    RunResult base = runTrace(t, { CoreConfig{}, mechFor("baseline") });
+    RunResult cons = runTrace(t, { CoreConfig{}, mechFor("constable") });
     double eb = computePower(base.stats).total();
     double ec = computePower(cons.stats).total();
     EXPECT_LT(ec, eb);
@@ -186,9 +187,9 @@ TEST(Power, EvesDoesNotReduceEnergyMuch)
     // still executes, and the predictor itself burns energy).
     auto specs = smokeSuite(40'000);
     Trace t = generateTrace(specs[1]);
-    RunResult base = runTrace(t, { CoreConfig{}, baselineMech() });
-    RunResult eves = runTrace(t, { CoreConfig{}, evesMech() });
-    RunResult cons = runTrace(t, { CoreConfig{}, constableMech() });
+    RunResult base = runTrace(t, { CoreConfig{}, mechFor("baseline") });
+    RunResult eves = runTrace(t, { CoreConfig{}, mechFor("eves") });
+    RunResult cons = runTrace(t, { CoreConfig{}, mechFor("constable") });
     double eb = computePower(base.stats).total();
     double ee = computePower(eves.stats).total();
     double ec = computePower(cons.stats).total();

@@ -372,6 +372,137 @@ TEST_F(ShardTest, FourShardsOverlapForAtLeast2point5x)
         << "serial " << serial << "s vs 4-shard " << sharded << "s";
 }
 
+// ------------------------------------------------------- lease heartbeats
+
+/**
+ * The ROADMAP lease-heartbeat drill: a cell that computes LONGER than the
+ * lease TTL. The background mtime refresh must keep the held lease fresh
+ * the whole time, so observers never see it as stale.
+ */
+TEST_F(ShardTest, HeartbeatKeepsLeaseFreshThroughSubComputeTtl)
+{
+    SweepManifest m = syntheticManifest();
+    m.numRows = 1;
+    m.numConfigs = 1;
+    m.configNames = { "slow" };
+    auto compute = [](size_t cell) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1600));
+        return syntheticCell(cell);
+    };
+
+    ShardOutcome oc;
+    std::vector<RunResult> out;
+    std::thread worker([&] {
+        oc = runShardedCells(dir, m, compute, out, workerOpts(0, 1));
+    });
+
+    // Sample the lease's age while the cell computes: with a 1 s TTL and a
+    // ~250 ms heartbeat it must never look reclaimable.
+    std::string lp = cellLeasePath(dir, m, 0);
+    double maxAge = -1.0;
+    for (int i = 0; i < 2000 && !fs::exists(lp); ++i)
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    ASSERT_TRUE(fs::exists(lp)) << "worker never claimed the cell";
+    while (fs::exists(lp)) {
+        maxAge = std::max(maxAge, leaseAgeSeconds(lp));
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    worker.join();
+
+    EXPECT_GE(maxAge, 0.0);
+    EXPECT_LT(maxAge, 1.0) << "heartbeat failed to refresh the lease";
+    EXPECT_EQ(oc.computed, 1u);
+    EXPECT_EQ(oc.reclaimed, 0u);
+}
+
+/**
+ * Two cooperating workers, cells slower than the TTL: without heartbeats
+ * the idle worker would reclaim its sibling's in-progress lease and
+ * benignly double-compute the cell; with them, every cell computes
+ * exactly once.
+ */
+TEST_F(ShardTest, NoDoubleComputationWithSlowCellsAndShortTtl)
+{
+    SweepManifest m = syntheticManifest();
+    m.numRows = 3;
+    m.numConfigs = 1; // 3 cells x 1.5 s vs a 1 s TTL
+    m.configNames = { "slow" };
+    auto compute = [](size_t cell) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1500));
+        return syntheticCell(cell);
+    };
+    auto opts = [&](int id) {
+        ShardOptions o = workerOpts(id, /*ttl_sec=*/1);
+        o.shards = 2;
+        return o;
+    };
+
+    ShardOutcome a, b;
+    std::vector<RunResult> outA, outB;
+    std::thread wa([&] { a = runShardedCells(dir, m, compute, outA,
+                                             opts(0)); });
+    std::thread wb([&] { b = runShardedCells(dir, m, compute, outB,
+                                             opts(1)); });
+    wa.join();
+    wb.join();
+
+    EXPECT_EQ(a.reclaimed + b.reclaimed, 0u);
+    EXPECT_EQ(a.computed + b.computed, 3u) << "a cell was double-computed";
+    for (size_t c = 0; c < m.numCells(); ++c) {
+        EXPECT_EQ(serializeRunResult(outA[c]),
+                  serializeRunResult(syntheticCell(c)));
+        EXPECT_EQ(serializeRunResult(outB[c]),
+                  serializeRunResult(syntheticCell(c)));
+    }
+}
+
+// -------------------------------------------------- cost-model scheduling
+
+/** Shard-aware scheduling: with a prior BENCH_perf.json as cost model,
+ *  workers claim the most expensive preset's cells first (rows ascending
+ *  within a preset), not stride order. */
+TEST_F(ShardTest, CostModelClaimsExpensiveCellsFirst)
+{
+    SweepManifest m = syntheticManifest();
+    m.configNames = { "fast", "mid", "slow" }; // 2 rows x 3 configs
+    std::string model = dir + "/BENCH_perf.json";
+    std::ofstream(model)
+        << "{\n  \"presets\": [\n"
+           "    {\"name\":\"fast\", \"mops_per_sec\":100.0},\n"
+           "    {\"name\":\"mid\", \"mops_per_sec\":10.0},\n"
+           "    {\"name\":\"slow\", \"mops_per_sec\":1.0}\n  ]\n}\n";
+
+    std::vector<size_t> computedOrder;
+    auto compute = [&](size_t cell) {
+        computedOrder.push_back(cell); // serial worker: no locking needed
+        return syntheticCell(cell);
+    };
+    ShardOptions o = workerOpts(0);
+    o.costModelPath = model;
+    std::vector<RunResult> out;
+    ShardOutcome oc = runShardedCells(dir, m, compute, out, o);
+    EXPECT_EQ(oc.computed, 6u);
+
+    // Cells are row * 3 + cfg; slow = cfg 2, mid = 1, fast = 0.
+    std::vector<size_t> expected = { 2, 5, 1, 4, 0, 3 };
+    EXPECT_EQ(computedOrder, expected);
+
+    // An unknown preset name gets the mean known cost (neutral), and a
+    // missing file falls back to stride order rather than failing.
+    ShardOptions missing = workerOpts(0);
+    missing.costModelPath = dir + "/no-such.json";
+    std::string d2 = dir + "/fallback";
+    fs::create_directories(d2);
+    std::vector<size_t> fallbackOrder;
+    auto compute2 = [&](size_t cell) {
+        fallbackOrder.push_back(cell);
+        return syntheticCell(cell);
+    };
+    runShardedCells(d2, m, compute2, out, missing);
+    std::vector<size_t> stride = { 0, 1, 2, 3, 4, 5 };
+    EXPECT_EQ(fallbackOrder, stride);
+}
+
 // --------------------------------------------------- experiment integration
 
 ExperimentOptions
@@ -397,9 +528,9 @@ TEST_F(ShardTest, ForkCoordinatorMatchesSerialRunBitExactly)
     Suite suite = Suite::fromSpecs(twoSpecs(), serial);
     auto build = [&](const ExperimentOptions& o) {
         Experiment e("forked", suite, o);
-        e.add("baseline", baselineMech())
-            .add("constable", constableMech())
-            .add("eves", evesMech());
+        e.add("baseline", mechFor("baseline"))
+            .add("constable", mechFor("constable"))
+            .add("eves", mechFor("eves"));
         return e;
     };
     auto ref = build(serial).run();
@@ -432,7 +563,7 @@ TEST_F(ShardTest, ForkCoordinatorWithoutCheckpointDirUsesScratch)
     Suite suite = Suite::fromSpecs(twoSpecs(), serial);
     auto run = [&](const ExperimentOptions& o) {
         return Experiment("scratch", suite, o)
-            .add("baseline", baselineMech())
+            .add("baseline", mechFor("baseline"))
             .run();
     };
     auto ref = run(serial);
@@ -449,7 +580,7 @@ TEST_F(ShardTest, WorkerModeRequiresCheckpointDir)
     o.shardId = 1;
     Suite suite = Suite::fromSpecs(twoSpecs(), o);
     Experiment e("nockpt", suite, o);
-    e.add("baseline", baselineMech());
+    e.add("baseline", mechFor("baseline"));
     EXPECT_EXIT(e.run(), ::testing::ExitedWithCode(1),
                 "needs --checkpoint-dir");
 }
@@ -465,7 +596,8 @@ TEST_F(ShardTest, ShardIdBeyondShardCountIsFatal)
 TEST(ShardOptionsParse, FlagsAndEnvRoundTrip)
 {
     const char* argv[] = { "prog", "--shards=4", "--shard-id=2",
-                           "--lease-ttl-sec=7", "--shard-poll-ms=5" };
+                           "--lease-ttl-sec=7", "--shard-poll-ms=5",
+                           "--cost-model=perf.json" };
     auto opts = ExperimentOptions::fromArgs(
         static_cast<int>(std::size(argv)), const_cast<char**>(argv));
     EXPECT_EQ(opts.shards, 4u);
@@ -476,6 +608,7 @@ TEST(ShardOptionsParse, FlagsAndEnvRoundTrip)
     ShardOptions s = opts.shard();
     EXPECT_EQ(s.shards, 4u);
     EXPECT_EQ(s.shardId, 2);
+    EXPECT_EQ(s.costModelPath, "perf.json");
 
     setenv("CONSTABLE_SHARDS", "3", 1);
     setenv("CONSTABLE_SHARD_ID", "0", 1);

@@ -2,7 +2,7 @@
  * @file
  * Tests for the sim layer: the work-stealing ThreadPool, determinism of the
  * batch matrix runner across thread counts, and smoke coverage of every
- * mechanism preset factory in sim/runner.hh.
+ * mechanism registry preset in sim/mechanisms.hh.
  */
 
 #include <gtest/gtest.h>
@@ -12,6 +12,7 @@
 
 #include "inspector/load_inspector.hh"
 #include "sim/batch.hh"
+#include "sim/mechanisms.hh"
 #include "sim/runner.hh"
 #include "trace/generator.hh"
 #include "workloads/suite.hh"
@@ -118,9 +119,9 @@ class MatrixDeterminism : public ::testing::Test
 TEST_F(MatrixDeterminism, ParallelMatchesSerialBitExactly)
 {
     std::vector<SystemConfig> configs = {
-        { CoreConfig{}, baselineMech() },
-        { CoreConfig{}, constableMech() },
-        { CoreConfig{}, evesPlusConstableMech() },
+        { CoreConfig{}, mechFor("baseline") },
+        { CoreConfig{}, mechFor("constable") },
+        { CoreConfig{}, mechFor("eves+constable") },
     };
 
     BatchOptions serial;
@@ -153,8 +154,8 @@ TEST_F(MatrixDeterminism, SmtMatrixParallelMatchesSerial)
         { &traces[1], &traces[0] },
     };
     std::vector<SystemConfig> configs = {
-        { CoreConfig{}, baselineMech() },
-        { CoreConfig{}, constableMech() },
+        { CoreConfig{}, mechFor("baseline") },
+        { CoreConfig{}, mechFor("constable") },
     };
 
     BatchOptions serial;
@@ -180,10 +181,10 @@ TEST_F(MatrixDeterminism, RowDependentConfigsAndGsSets)
         gs.push_back(&s);
 
     std::vector<ConfigFactory> configs = {
-        [](size_t) { return SystemConfig { CoreConfig{}, baselineMech() }; },
+        [](size_t) { return SystemConfig { CoreConfig{}, mechFor("baseline") }; },
         [&](size_t row) {
             return SystemConfig { CoreConfig{},
-                                  evesPlusIdealConstableMech(gsSets[row]) };
+                                  mechFor("eves+ideal-constable", &gsSets[row]) };
         },
     };
 
@@ -204,8 +205,8 @@ TEST(Matrix, SpeedupsOverShape)
     specs.resize(1);
     Trace t = generateTrace(specs[0]);
     std::vector<SystemConfig> configs = {
-        { CoreConfig{}, baselineMech() },
-        { CoreConfig{}, constableMech() },
+        { CoreConfig{}, mechFor("baseline") },
+        { CoreConfig{}, mechFor("constable") },
     };
     BatchOptions opts;
     opts.threads = 1;
@@ -219,7 +220,7 @@ TEST(Matrix, SpeedupsOverShape)
 
 // ------------------------------------------------------------ preset smoke
 
-/** Every preset factory in sim/runner.hh must run a trace to completion
+/** Every registry preset must run a trace to completion
  *  (runTrace panics on a golden-check failure, so surviving the run plus
  *  retiring every instruction is a real end-to-end check). */
 TEST(Presets, EveryFactoryRunsCleanly)
@@ -235,22 +236,22 @@ TEST(Presets, EveryFactoryRunsCleanly)
         MechanismConfig mech;
     };
     std::vector<Case> cases = {
-        { "baseline", baselineMech() },
-        { "constable", constableMech() },
-        { "eves", evesMech() },
-        { "eves+constable", evesPlusConstableMech() },
-        { "elar", elarMech() },
-        { "rfp", rfpMech() },
-        { "elar+constable", elarPlusConstableMech() },
-        { "rfp+constable", rfpPlusConstableMech() },
-        { "constable-amt-i", constableAmtIMech() },
-        { "mode-pcrel", constableModeOnlyMech(AddrMode::PcRel) },
-        { "mode-stackrel", constableModeOnlyMech(AddrMode::StackRel) },
-        { "mode-regrel", constableModeOnlyMech(AddrMode::RegRel) },
-        { "ideal-lvp", idealMech(IdealMode::StableLvp, gs) },
-        { "ideal-lvp-nofetch", idealMech(IdealMode::StableLvpNoFetch, gs) },
-        { "ideal-constable", idealMech(IdealMode::Constable, gs) },
-        { "eves+ideal-constable", evesPlusIdealConstableMech(gs) },
+        { "baseline", mechFor("baseline") },
+        { "constable", mechFor("constable") },
+        { "eves", mechFor("eves") },
+        { "eves+constable", mechFor("eves+constable") },
+        { "elar", mechFor("elar") },
+        { "rfp", mechFor("rfp") },
+        { "elar+constable", mechFor("elar+constable") },
+        { "rfp+constable", mechFor("rfp+constable") },
+        { "constable-amt-i", mechFor("constable-amt-i") },
+        { "mode-pcrel", mechFor("constable-pcrel") },
+        { "mode-stackrel", mechFor("constable-stackrel") },
+        { "mode-regrel", mechFor("constable-regrel") },
+        { "ideal-lvp", mechFor("ideal-stable-lvp", &gs) },
+        { "ideal-lvp-nofetch", mechFor("ideal-stable-lvp-nofetch", &gs) },
+        { "ideal-constable", mechFor("ideal-constable", &gs) },
+        { "eves+ideal-constable", mechFor("eves+ideal-constable", &gs) },
     };
 
     for (const Case& c : cases) {
@@ -266,16 +267,16 @@ TEST(Presets, EveryFactoryRunsCleanly)
 /** Presets must actually differ from the baseline where it matters. */
 TEST(Presets, FlagsMatchIntent)
 {
-    EXPECT_FALSE(baselineMech().constable.enabled);
-    EXPECT_TRUE(constableMech().constable.enabled);
-    EXPECT_TRUE(evesMech().eves);
-    EXPECT_TRUE(evesPlusConstableMech().eves);
-    EXPECT_TRUE(evesPlusConstableMech().constable.enabled);
-    EXPECT_TRUE(elarPlusConstableMech().elar);
-    EXPECT_TRUE(rfpPlusConstableMech().rfp);
-    EXPECT_FALSE(constableAmtIMech().constable.cvBitPinning);
-    EXPECT_TRUE(constableMech().constable.cvBitPinning);
-    MechanismConfig pcrel = constableModeOnlyMech(AddrMode::PcRel);
+    EXPECT_FALSE(mechFor("baseline").constable.enabled);
+    EXPECT_TRUE(mechFor("constable").constable.enabled);
+    EXPECT_TRUE(mechFor("eves").eves);
+    EXPECT_TRUE(mechFor("eves+constable").eves);
+    EXPECT_TRUE(mechFor("eves+constable").constable.enabled);
+    EXPECT_TRUE(mechFor("elar+constable").elar);
+    EXPECT_TRUE(mechFor("rfp+constable").rfp);
+    EXPECT_FALSE(mechFor("constable-amt-i").constable.cvBitPinning);
+    EXPECT_TRUE(mechFor("constable").constable.cvBitPinning);
+    MechanismConfig pcrel = mechFor("constable-pcrel");
     EXPECT_TRUE(pcrel.constable.eliminatePcRel);
     EXPECT_FALSE(pcrel.constable.eliminateStackRel);
     EXPECT_FALSE(pcrel.constable.eliminateRegRel);

@@ -25,60 +25,20 @@
 #include <vector>
 
 #include "sim/experiment.hh"
-#include "trace/serialize.hh"
+#include "sim/scenario.hh"
 
 namespace constable {
 namespace {
 
-/** The 16 evaluated mechanism presets (matching the golden-snapshot set:
- *  §8.4 plus the Fig 7 oracles, Fig 13 mode filters, Fig 22 AMT-I). */
+/** Every registry preset (the golden-snapshot set: §8.4 plus the Fig 7
+ *  oracles, Fig 13 mode filters, Fig 22 AMT-I), in canonical order. */
 Experiment
 presetExperiment(const Suite& suite, const ExperimentOptions& opts)
 {
     Experiment exp("presets", suite, opts);
-    exp.add("baseline", baselineMech())
-        .add("constable", constableMech())
-        .add("eves", evesMech())
-        .add("eves+constable", evesPlusConstableMech())
-        .add("elar", elarMech())
-        .add("rfp", rfpMech())
-        .add("elar+constable", elarPlusConstableMech())
-        .add("rfp+constable", rfpPlusConstableMech())
-        .add("constable-pcrel", constableModeOnlyMech(AddrMode::PcRel))
-        .add("constable-stackrel", constableModeOnlyMech(AddrMode::StackRel))
-        .add("constable-regrel", constableModeOnlyMech(AddrMode::RegRel))
-        .add("constable-amt-i", constableAmtIMech());
-    exp.add("ideal-stable-lvp", [&suite](size_t row) {
-        return SystemConfig { CoreConfig{},
-            idealMech(IdealMode::StableLvp, suite.globalStablePcs(row)) };
-    });
-    exp.add("ideal-stable-lvp-nofetch", [&suite](size_t row) {
-        return SystemConfig { CoreConfig{},
-            idealMech(IdealMode::StableLvpNoFetch,
-                      suite.globalStablePcs(row)) };
-    });
-    exp.add("ideal-constable", [&suite](size_t row) {
-        return SystemConfig { CoreConfig{},
-            idealMech(IdealMode::Constable, suite.globalStablePcs(row)) };
-    });
-    exp.add("eves+ideal-constable", [&suite](size_t row) {
-        return SystemConfig { CoreConfig{},
-            evesPlusIdealConstableMech(suite.globalStablePcs(row)) };
-    });
+    for (const MechanismPreset& p : MechanismRegistry::instance().presets())
+        exp.addPreset(p.name);
     return exp;
-}
-
-/** Byte-identity fingerprint: FNV over every cell's serialized bytes. */
-uint64_t
-resultFingerprint(const MatrixResult& m)
-{
-    uint64_t h = 0x5eedf00dull;
-    for (const RunResult& r : m.results) {
-        auto bytes = serializeRunResult(r);
-        h ^= fnv1a(bytes.data(), bytes.size());
-        h *= 0x100000001b3ull;
-    }
-    return h;
 }
 
 int
@@ -105,6 +65,11 @@ sweepMain(int argc, char** argv)
 
     ExperimentOptions opts = ExperimentOptions::fromArgs(
         static_cast<int>(rest.size()), rest.data());
+
+    // --mech / --scenario run a named registry sweep instead of the full
+    // 16-preset matrix (sim/scenario.hh).
+    if (runNamedSweepIfRequested("sweep", opts))
+        return 0;
 
     Suite suite = Suite::prepare(opts, /*inspect=*/true);
     Experiment exp = presetExperiment(suite, opts);
