@@ -20,8 +20,9 @@
 namespace constable {
 
 /**
- * Parse a non-negative integer (decimal, or 0x-prefixed hex) from a named
- * source. fatal()s on empty strings, trailing junk, signs, or overflow.
+ * Parse a non-negative base-10 integer from a named source. fatal()s on
+ * empty strings, trailing junk, signs, leading zeros, 0x-prefixes, or
+ * overflow.
  */
 inline uint64_t
 parseU64Strict(const std::string& what, const std::string& value)
@@ -32,9 +33,17 @@ parseU64Strict(const std::string& what, const std::string& value)
         ++start;
     if (start == value.size() || value[start] == '-' || value[start] == '+')
         fatal(what + " must be a non-negative integer, got '" + value + "'");
+    // The base is forced to 10: strtoull's base-0 auto-detection would
+    // silently parse "010" as octal 8 and "0x10" as hex 16, so anything
+    // starting with '0' other than a bare "0" is rejected outright rather
+    // than re-based behind the caller's back.
+    if (value[start] == '0' && start + 1 < value.size()) {
+        fatal(what + " must be a plain base-10 integer (no leading zeros "
+              "or 0x prefix), got '" + value + "'");
+    }
     errno = 0;
     char* end = nullptr;
-    unsigned long long v = std::strtoull(value.c_str() + start, &end, 0);
+    unsigned long long v = std::strtoull(value.c_str() + start, &end, 10);
     if (end == value.c_str() + start || *end != '\0' || errno == ERANGE) {
         fatal(what + " must be a non-negative integer, got '" + value +
               "'");

@@ -7,12 +7,19 @@ namespace constable {
 double
 geomean(const std::vector<double>& v)
 {
-    if (v.empty())
-        return 0.0;
+    // Skip non-positive samples (see stats.hh): one zero latency or a
+    // negative energy delta must not zero-out / NaN-out the whole mean.
     double acc = 0.0;
-    for (double x : v)
-        acc += std::log(x);
-    return std::exp(acc / static_cast<double>(v.size()));
+    size_t n = 0;
+    for (double x : v) {
+        if (x > 0.0) {
+            acc += std::log(x);
+            ++n;
+        }
+    }
+    if (n == 0)
+        return 0.0;
+    return std::exp(acc / static_cast<double>(n));
 }
 
 double
@@ -26,9 +33,6 @@ mean(const std::vector<double>& v)
     return acc / static_cast<double>(v.size());
 }
 
-namespace {
-
-/** Linear-interpolated percentile of a sorted sample vector. */
 double
 percentileSorted(const std::vector<double>& s, double p)
 {
@@ -42,8 +46,6 @@ percentileSorted(const std::vector<double>& s, double p)
     double frac = idx - static_cast<double>(lo);
     return s[lo] * (1.0 - frac) + s[hi] * frac;
 }
-
-} // namespace
 
 BoxWhisker
 BoxWhisker::from(std::vector<double> samples)

@@ -23,11 +23,24 @@ ratio(double num, double den)
     return den == 0.0 ? 0.0 : num / den;
 }
 
-/** Geometric mean of a vector of positive values (returns 0 for empty). */
+/**
+ * Geometric mean over the *positive* samples of v. Non-positive samples
+ * have no geometric mean — log(0) = -inf collapses the whole mean to 0 and
+ * the log of a negative value is NaN — so they are skipped and the mean of
+ * the remaining positive subset is returned; 0 when no positive sample
+ * remains (including empty input).
+ */
 double geomean(const std::vector<double>& v);
 
 /** Arithmetic mean (returns 0 for empty). */
 double mean(const std::vector<double>& v);
+
+/**
+ * Linear-interpolated percentile (p in [0, 1]) of an ascending-sorted
+ * sample vector; 0 for empty input. The primitive behind BoxWhisker's
+ * quartiles and the serving tier's latency tails (p50/p95/p99).
+ */
+double percentileSorted(const std::vector<double>& sorted, double p);
 
 /**
  * Five-number summary used by the paper's box-and-whisker plots

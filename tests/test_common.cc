@@ -26,6 +26,31 @@ TEST(Stats, GeomeanEmptyIsZero)
     EXPECT_DOUBLE_EQ(geomean({}), 0.0);
 }
 
+TEST(Stats, GeomeanSkipsNonPositiveSamples)
+{
+    // Regression: log(0) = -inf used to collapse the whole mean to 0 and
+    // a negative sample NaN-poisoned it. Both are skipped now (stats.hh);
+    // the mean of the remaining positives {2, 8} is 4.
+    EXPECT_DOUBLE_EQ(geomean({ 0.0, 2.0, 8.0 }), 4.0);
+    EXPECT_DOUBLE_EQ(geomean({ -3.0, 2.0, 8.0 }), 4.0);
+    EXPECT_FALSE(std::isnan(geomean({ -3.0, 2.0, 8.0 })));
+    // No positive sample at all degrades to the empty-input answer.
+    EXPECT_DOUBLE_EQ(geomean({ 0.0, -1.0 }), 0.0);
+}
+
+TEST(Stats, PercentileSortedEdges)
+{
+    EXPECT_DOUBLE_EQ(percentileSorted({}, 0.5), 0.0);
+    EXPECT_DOUBLE_EQ(percentileSorted({ 9.0 }, 0.0), 9.0);
+    EXPECT_DOUBLE_EQ(percentileSorted({ 9.0 }, 0.99), 9.0);
+    // n=2 interpolates linearly between the two samples.
+    EXPECT_DOUBLE_EQ(percentileSorted({ 10.0, 20.0 }, 0.0), 10.0);
+    EXPECT_DOUBLE_EQ(percentileSorted({ 10.0, 20.0 }, 0.5), 15.0);
+    EXPECT_DOUBLE_EQ(percentileSorted({ 10.0, 20.0 }, 0.95), 19.5);
+    EXPECT_DOUBLE_EQ(percentileSorted({ 10.0, 20.0 }, 1.0), 20.0);
+    EXPECT_DOUBLE_EQ(percentileSorted({ 5.0, 5.0, 5.0 }, 0.99), 5.0);
+}
+
 TEST(Stats, MeanBasic)
 {
     EXPECT_DOUBLE_EQ(mean({ 1.0, 2.0, 3.0 }), 2.0);
@@ -68,6 +93,43 @@ TEST(Stats, BoxWhiskerEmpty)
 {
     BoxWhisker b = BoxWhisker::from({});
     EXPECT_EQ(b.n, 0u);
+}
+
+TEST(Stats, BoxWhiskerTwoSamples)
+{
+    BoxWhisker b = BoxWhisker::from({ 1.0, 3.0 });
+    EXPECT_EQ(b.n, 2u);
+    EXPECT_DOUBLE_EQ(b.q1, 1.5);
+    EXPECT_DOUBLE_EQ(b.median, 2.0);
+    EXPECT_DOUBLE_EQ(b.q3, 2.5);
+    // IQR 1 puts the limits at [0, 4]: both samples are inside, so the
+    // whiskers reach the extremes.
+    EXPECT_DOUBLE_EQ(b.whiskerLo, 1.0);
+    EXPECT_DOUBLE_EQ(b.whiskerHi, 3.0);
+}
+
+TEST(Stats, BoxWhiskerAllEqualSamples)
+{
+    BoxWhisker b = BoxWhisker::from({ 5.0, 5.0, 5.0, 5.0 });
+    EXPECT_DOUBLE_EQ(b.min, 5.0);
+    EXPECT_DOUBLE_EQ(b.q1, 5.0);
+    EXPECT_DOUBLE_EQ(b.median, 5.0);
+    EXPECT_DOUBLE_EQ(b.q3, 5.0);
+    EXPECT_DOUBLE_EQ(b.max, 5.0);
+    EXPECT_DOUBLE_EQ(b.whiskerLo, 5.0);
+    EXPECT_DOUBLE_EQ(b.whiskerHi, 5.0);
+}
+
+TEST(Stats, BoxWhiskerZeroIqrClampsWhiskersToTheBox)
+{
+    // q1 = q3 = 5 makes the 1.5*IQR limits degenerate to [5, 5]: the
+    // outlier at 100 stays an outlier and the whisker stops at the box.
+    BoxWhisker b = BoxWhisker::from({ 5.0, 5.0, 5.0, 5.0, 100.0 });
+    EXPECT_DOUBLE_EQ(b.q1, 5.0);
+    EXPECT_DOUBLE_EQ(b.q3, 5.0);
+    EXPECT_DOUBLE_EQ(b.whiskerHi, 5.0);
+    EXPECT_DOUBLE_EQ(b.whiskerLo, 5.0);
+    EXPECT_DOUBLE_EQ(b.max, 100.0);
 }
 
 TEST(Stats, HistogramBucketsAndLabels)

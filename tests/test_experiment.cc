@@ -312,12 +312,12 @@ TEST_F(Checkpoint, SmtSweepCheckpointsSeparatelyFromNoSmt)
 
 // ----------------------------------------------------------- option parsing
 
-TEST(Options, StrictParserAcceptsDecimalAndHex)
+TEST(Options, StrictParserAcceptsPlainDecimal)
 {
     EXPECT_EQ(parseU64Strict("X", "42"), 42u);
-    EXPECT_EQ(parseU64Strict("X", "0x10"), 16u);
     EXPECT_EQ(parseU64Strict("X", "0"), 0u);
     EXPECT_EQ(parseU64Strict("X", " 7"), 7u);
+    EXPECT_EQ(parseU64Strict("X", "18446744073709551615"), UINT64_MAX);
 }
 
 TEST(OptionsDeathTest, StrictParserRejectsGarbage)
@@ -333,6 +333,25 @@ TEST(OptionsDeathTest, StrictParserRejectsGarbage)
     EXPECT_EXIT(parseU64Strict("CONSTABLE_SEED",
                                "99999999999999999999999999"),
                 ::testing::ExitedWithCode(1), "non-negative integer");
+}
+
+TEST(OptionsDeathTest, OctalAndHexSurprisesAreFatalNotRebased)
+{
+    // The historical bug: strtoull(..., 0) auto-detected the base, so
+    // CONSTABLE_SHARDS=010 silently meant 8 workers and 0x10 meant 16.
+    // Both now terminate instead of being silently reinterpreted.
+    EXPECT_EXIT(parseU64Strict("CONSTABLE_SHARDS", "010"),
+                ::testing::ExitedWithCode(1), "base-10");
+    EXPECT_EXIT(parseU64Strict("CONSTABLE_SHARDS", "0x10"),
+                ::testing::ExitedWithCode(1), "base-10");
+    EXPECT_EXIT(parseU64Strict("CONSTABLE_SHARDS", "00"),
+                ::testing::ExitedWithCode(1), "base-10");
+    EXPECT_EXIT(
+        {
+            setenv("CONSTABLE_SHARDS", "010", 1);
+            ExperimentOptions::fromEnv();
+        },
+        ::testing::ExitedWithCode(1), "CONSTABLE_SHARDS");
 }
 
 TEST(OptionsDeathTest, MalformedEnvIsFatalNotSilent)
@@ -356,7 +375,7 @@ TEST(OptionsDeathTest, MalformedEnvIsFatalNotSilent)
 TEST(Options, FromArgsOverridesEnv)
 {
     setenv("CONSTABLE_THREADS", "2", 1);
-    const char* argv[] = { "prog", "--threads=5", "--seed", "0x2a",
+    const char* argv[] = { "prog", "--threads=5", "--seed", "42",
                            "--trace-ops=4000", "--suite-limit=3",
                            "--trace-dir=/tmp/x", "--checkpoint-dir",
                            "/tmp/y" };

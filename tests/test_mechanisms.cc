@@ -169,6 +169,20 @@ TEST(Scenario, ParsesTheFullDirectiveSet)
     EXPECT_EQ(sc.suiteLimit, 8u);
 }
 
+TEST(Scenario, HashInsideAValueIsNotACommentStart)
+{
+    // Regression: stripLine used to truncate at the first '#' anywhere,
+    // silently turning "name spike#2" into "name spike". A '#' now only
+    // starts a comment at line start or after whitespace.
+    Scenario sc = parseScenarioText(
+        "name spike#2   # trailing comment still stripped\n"
+        "mech constable\n"
+        "#full-line comment\n",
+        "test");
+    EXPECT_EQ(sc.name, "spike#2");
+    ASSERT_EQ(sc.mechs.size(), 1u);
+}
+
 TEST(Scenario, MinimalScenarioInheritsEverythingElse)
 {
     Scenario sc = parseScenarioText("mech constable\n", "test");
