@@ -26,6 +26,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/env.hh"
 #include "common/logging.hh"
 #include "sim/experiment.hh"
 #include "sim/runner.hh"
@@ -128,12 +129,10 @@ perfMain(int argc, char** argv)
                                               nullptr);
         } else if (flag == "--repeats") {
             flags.repeats = static_cast<unsigned>(
-                std::strtoul(valueOf(arg, i).c_str(), nullptr, 10));
-            if (flags.repeats == 0)
-                fatal("--repeats must be >= 1");
+                parseU64InRange("--repeats", valueOf(arg, i), 1, 1000));
         } else if (flag == "--shard-scaling") {
             flags.shardScaling = static_cast<unsigned>(
-                std::strtoul(valueOf(arg, i).c_str(), nullptr, 10));
+                parseU64Strict("--shard-scaling", valueOf(arg, i)));
         } else {
             if (flag == "--help" || flag == "-h") {
                 std::printf(

@@ -6,7 +6,8 @@
 
 namespace constable {
 
-Amt::Amt(const AmtConfig& cfg) : cfg(cfg), entries(cfg.sets * cfg.ways)
+Amt::Amt(const AmtConfig& amt_cfg)
+    : cfg(amt_cfg), entries(amt_cfg.sets * amt_cfg.ways)
 {
     if ((cfg.sets & (cfg.sets - 1)) != 0)
         fatal("Amt: set count must be a power of two");

@@ -2,9 +2,9 @@
 
 namespace constable {
 
-ConstableEngine::ConstableEngine(const ConstableConfig& cfg)
-    : sld(cfg.sld), rmt(cfg.rmt), amt(cfg.amt), xprf(cfg.xprfEntries),
-      cfg(cfg)
+ConstableEngine::ConstableEngine(const ConstableConfig& engine_cfg)
+    : sld(engine_cfg.sld), rmt(engine_cfg.rmt), amt(engine_cfg.amt),
+      xprf(engine_cfg.xprfEntries), cfg(engine_cfg)
 {
 }
 

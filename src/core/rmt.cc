@@ -4,7 +4,7 @@
 
 namespace constable {
 
-Rmt::Rmt(const RmtConfig& cfg) : cfg(cfg), lists(kMaxArchRegs)
+Rmt::Rmt(const RmtConfig& rmt_cfg) : cfg(rmt_cfg), lists(kMaxArchRegs)
 {
 }
 

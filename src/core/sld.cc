@@ -4,7 +4,8 @@
 
 namespace constable {
 
-Sld::Sld(const SldConfig& cfg) : cfg(cfg), entries(cfg.sets * cfg.ways)
+Sld::Sld(const SldConfig& sld_cfg)
+    : cfg(sld_cfg), entries(sld_cfg.sets * sld_cfg.ways)
 {
     if ((cfg.sets & (cfg.sets - 1)) != 0)
         fatal("Sld: set count must be a power of two");

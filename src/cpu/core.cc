@@ -114,6 +114,8 @@ OooCore::exportFinalStats(RunResult& r)
         s.set("sld.updates.hist." + std::to_string(b),
               sldUpdateHist.bucketFrac(b));
     }
+    // StatSet keys on a std::map, so insertion order of these per-PC
+    // counters never reaches serialized bytes or reports. lint:ordered
     for (const auto& [pc, n] : vpWrongByPc) {
         char buf[48];
         std::snprintf(buf, sizeof(buf), "debug.vpwrong.%llx",

@@ -29,28 +29,10 @@
 #include <unordered_set>
 #include <vector>
 
+#include "common/run_result.hh"
 #include "cpu/core_state.hh"
 
 namespace constable {
-
-/** Outcome of one simulation run. */
-struct RunResult
-{
-    Cycle cycles = 0;
-    uint64_t instructions = 0;
-    std::array<uint64_t, 2> threadInstructions { 0, 0 };
-    std::array<Cycle, 2> threadFinishCycle { 0, 0 };
-    bool goldenCheckFailed = false;
-    std::string goldenCheckMessage;
-    StatSet stats;
-
-    double ipc() const
-    {
-        return cycles == 0 ? 0.0
-                           : static_cast<double>(instructions) /
-                                 static_cast<double>(cycles);
-    }
-};
 
 class OooCore : private CoreState
 {

@@ -19,6 +19,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/check.hh"
 #include "common/small_vec.hh"
 #include "common/stats.hh"
 #include "cpu/config.hh"
@@ -305,6 +306,8 @@ struct CoreState
     void
     schedule(int slot, EventKind kind, unsigned delay)
     {
+        CONSTABLE_ASSERT(slots[slot].valid,
+                         "scheduling an event for a freed slot");
         if (delay == 0)
             delay = 1;
         if (delay >= kEventWheelSize)
@@ -344,6 +347,9 @@ struct CoreState
                 }
             }
         }
+        CONSTABLE_ASSERT(found != kEventWheelSize,
+                         "pendingEvents != 0 but the occupancy bitmap has "
+                         "no set bit: wheel and bitmap disagree");
         return (found + kEventWheelSize - cur) % kEventWheelSize;
     }
 
@@ -373,6 +379,9 @@ struct CoreState
                            return a.gen > b.gen;
                        });
         ++q.live;
+        CONSTABLE_ASSERT(q.live <= q.heap.size(),
+                         "ready-queue live count exceeds heap size: a "
+                         "removeReady was missed or double-counted");
         if (port == static_cast<unsigned>(PortType::Load) && !e.isGsLoad)
             ++readyNonGsLoads;
     }
@@ -385,9 +394,14 @@ struct CoreState
         // (the slot is freed or re-allocated under a strictly larger gen).
         InFlight& e = at(slot);
         unsigned port = static_cast<unsigned>(portOf(e));
+        CONSTABLE_ASSERT(readyQ[port].live > 0,
+                         "removeReady on a port with no live entries");
         --readyQ[port].live;
-        if (port == static_cast<unsigned>(PortType::Load) && !e.isGsLoad)
+        if (port == static_cast<unsigned>(PortType::Load) && !e.isGsLoad) {
+            CONSTABLE_ASSERT(readyNonGsLoads > 0,
+                             "non-GS ready-load counter underflow");
             --readyNonGsLoads;
+        }
     }
 
     /** Pop the oldest live ready op on a port, discarding stale heap
@@ -399,12 +413,19 @@ struct CoreState
         auto older = [](const ReadyEntry& a, const ReadyEntry& b) {
             return a.gen > b.gen;
         };
+        // O(heap) probe, so DCHECK: min-heap order over gen is what makes
+        // pop order == age order (the determinism contract of issue).
+        CONSTABLE_DCHECK(std::is_heap(q.heap.begin(), q.heap.end(), older),
+                         "ready-queue heap property violated");
         while (!q.heap.empty()) {
             ReadyEntry top = q.heap.front();
             std::pop_heap(q.heap.begin(), q.heap.end(), older);
             q.heap.pop_back();
             InFlight& e = slots[top.slot];
             if (e.valid && e.gen == top.gen && e.state == OpState::Ready) {
+                CONSTABLE_ASSERT(q.live > 0,
+                                 "live ready entry found on a port whose "
+                                 "live count is zero");
                 --q.live;
                 if (port == static_cast<unsigned>(PortType::Load) &&
                     !e.isGsLoad)
@@ -412,6 +433,9 @@ struct CoreState
                 return top.slot;
             }
         }
+        CONSTABLE_ASSERT(q.live == 0,
+                         "ready-queue drained but live count is nonzero: "
+                         "a live entry was lost to a stale generation");
         return -1;
     }
 

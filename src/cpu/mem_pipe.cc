@@ -149,13 +149,18 @@ OooCore::onStaDone(int slot)
 
     // Move the store from the unresolved list into the address index (it
     // is usually near the back: stores resolve a few cycles after issue).
+    bool foundUnresolved = false;
     for (size_t i = t.unresolvedStores.size(); i-- > 0;) {
         if (t.unresolvedStores[i] == slot) {
             t.unresolvedStores.erase(t.unresolvedStores.begin() +
                                      static_cast<ptrdiff_t>(i));
+            foundUnresolved = true;
             break;
         }
     }
+    CONSTABLE_ASSERT(foundUnresolved,
+                     "STA completed for a store absent from "
+                     "unresolvedStores: the list diverged from the SB");
     storeIndexInsert(t, slot);
 
     // Constable step 9: the generated store address probes the AMT and
@@ -166,6 +171,12 @@ OooCore::onStaDone(int slot)
     // overlapping address violated ordering -> flush from that load. Only
     // loads can match, and loadList is program-ordered, so binary-search to
     // the first load younger than the store instead of walking the ROB.
+    CONSTABLE_DCHECK(std::is_sorted(t.loadList.begin(), t.loadList.end(),
+                                    [this](int a, int b) {
+                                        return at(a).seq < at(b).seq;
+                                    }),
+                     "loadList not in program order at disambiguation: "
+                     "binary search would miss violating loads");
     auto seqOf = [this](int sid, SeqNum seq) { return at(sid).seq < seq; };
     auto it = std::upper_bound(t.loadList.begin(), t.loadList.end(), st.seq,
                                [this](SeqNum seq, int sid) {
@@ -326,6 +337,11 @@ OooCore::squashFrom(ThreadCtx& t, size_t rob_pos, Cycle restart_delay)
             t.loadList.push_back(s);
         }
     }
+
+    CONSTABLE_DCHECK(t.loadList.size() <= t.lbUsed &&
+                         t.storeList.size() <= t.sbUsed,
+                     "squash rebuild left more list entries than allocated "
+                     "LB/SB slots");
 
     if (refValid(t.pendingBranch) && at(t.pendingBranch.slot).seq >= firstSeq)
         t.pendingBranch = SlotRef{};

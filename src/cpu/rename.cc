@@ -171,10 +171,21 @@ OooCore::renameOne(ThreadCtx& t, unsigned& loads_this_cycle,
     }
     if (op.isLoad()) {
         ++t.lbUsed;
+        // mem_pipe.cc's onStaDone binary-searches loadList by seq, so
+        // rename (the only producer) must append in program order.
+        CONSTABLE_DCHECK(t.loadList.empty() ||
+                             at(t.loadList.back()).seq < e.seq,
+                         "loadList append out of program order");
         t.loadList.push_back(s);
     }
     if (op.isStore()) {
         ++t.sbUsed;
+        CONSTABLE_DCHECK(t.storeList.empty() ||
+                             at(t.storeList.back()).seq < e.seq,
+                         "storeList append out of program order");
+        CONSTABLE_DCHECK(t.unresolvedStores.empty() ||
+                             at(t.unresolvedStores.back()).seq < e.seq,
+                         "unresolvedStores append out of program order");
         t.storeList.push_back(s);
         t.unresolvedStores.push_back(s);
         t.lastStoreByPc[op.pc] = SlotRef{ s, e.gen };

@@ -236,8 +236,14 @@ OooCore::run()
             // the live bucket -- delays are clamped to [1, kWheelSize-1])
             // and clear() keeps the capacity for the next lap.
             size_t n = events.size();
-            pendingEvents -= n;
             unsigned idx = static_cast<unsigned>(now % kWheelSize);
+            CONSTABLE_ASSERT((wheelOccupied[idx / 64] >> (idx % 64)) & 1,
+                             "draining a populated wheel bucket whose "
+                             "occupancy bit is clear");
+            CONSTABLE_ASSERT(pendingEvents >= n,
+                             "wheel bucket holds more events than the "
+                             "global pending count");
+            pendingEvents -= n;
             wheelOccupied[idx / 64] &= ~(1ull << (idx % 64));
             for (size_t i = 0; i < n; ++i) {
                 Event ev = events[i];

@@ -50,7 +50,7 @@ Cache::releaseLines(std::vector<Line>&& v)
     pool.push_back(std::move(v));
 }
 
-Cache::Cache(const CacheConfig& cfg) : cfg(cfg)
+Cache::Cache(const CacheConfig& cache_cfg) : cfg(cache_cfg)
 {
     uint64_t numLines = static_cast<uint64_t>(cfg.sizeKB) * 1024 / kLineBytes;
     if (cfg.ways == 0 || numLines % cfg.ways != 0)

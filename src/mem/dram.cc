@@ -2,9 +2,10 @@
 
 namespace constable {
 
-Dram::Dram(const DramConfig& cfg)
-    : cfg(cfg),
-      banks(cfg.channels * cfg.ranksPerChannel * cfg.banksPerRank)
+Dram::Dram(const DramConfig& dram_cfg)
+    : cfg(dram_cfg),
+      banks(dram_cfg.channels * dram_cfg.ranksPerChannel *
+            dram_cfg.banksPerRank)
 {
 }
 

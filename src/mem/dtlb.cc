@@ -2,8 +2,8 @@
 
 namespace constable {
 
-Dtlb::Dtlb(unsigned entries, unsigned ways, unsigned miss_penalty)
-    : sets(entries / ways), ways(ways), missPenalty(miss_penalty),
+Dtlb::Dtlb(unsigned entries, unsigned num_ways, unsigned miss_penalty)
+    : sets(entries / num_ways), ways(num_ways), missPenalty(miss_penalty),
       table(entries)
 {
 }

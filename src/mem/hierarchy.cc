@@ -2,8 +2,9 @@
 
 namespace constable {
 
-MemHierarchy::MemHierarchy(const HierarchyConfig& cfg)
-    : cfg(cfg), l1d(cfg.l1d), l2(cfg.l2), llc(cfg.llc), dram(cfg.dram)
+MemHierarchy::MemHierarchy(const HierarchyConfig& hier_cfg)
+    : cfg(hier_cfg), l1d(hier_cfg.l1d), l2(hier_cfg.l2), llc(hier_cfg.llc),
+      dram(hier_cfg.dram)
 {
 }
 

@@ -2,8 +2,8 @@
 
 namespace constable {
 
-StridePrefetcher::StridePrefetcher(unsigned entries, unsigned degree)
-    : table(entries), degree(degree)
+StridePrefetcher::StridePrefetcher(unsigned entries, unsigned fetch_degree)
+    : table(entries), degree(fetch_degree)
 {
 }
 
@@ -33,8 +33,9 @@ StridePrefetcher::observe(PC pc, Addr addr, std::vector<Addr>& out)
     }
 }
 
-StreamerPrefetcher::StreamerPrefetcher(unsigned regions, unsigned degree)
-    : table(regions), degree(degree)
+StreamerPrefetcher::StreamerPrefetcher(unsigned regions,
+                                       unsigned fetch_degree)
+    : table(regions), degree(fetch_degree)
 {
 }
 
@@ -61,8 +62,8 @@ StreamerPrefetcher::observe(Addr addr, std::vector<Addr>& out)
     r.lastLine = line;
 }
 
-SppPrefetcher::SppPrefetcher(unsigned sig_entries, unsigned depth)
-    : pages(256), patterns(sig_entries), depth(depth)
+SppPrefetcher::SppPrefetcher(unsigned sig_entries, unsigned lookahead)
+    : pages(256), patterns(sig_entries), depth(lookahead)
 {
 }
 

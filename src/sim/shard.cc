@@ -11,6 +11,7 @@
 #include <thread>
 #include <unordered_map>
 
+#include "common/check.hh"
 #include "common/logging.hh"
 
 // fork()-based coordinator mode is POSIX-only; other platforms fall back
@@ -52,6 +53,8 @@ makeLease(int shard_id)
     r.shardId = shard_id;
     r.acquiredUnixSec = static_cast<uint64_t>(
         std::chrono::duration_cast<std::chrono::seconds>(
+            // informational lease timestamp only; expiry is judged from
+            // the file's mtime, never from this field. lint:wallclock
             std::chrono::system_clock::now().time_since_epoch())
             .count());
     return r;
@@ -264,6 +267,18 @@ workerPass(WorkerCtx& ctx)
         }
         std::string lp = cellLeasePath(ctx.dir, ctx.m, c);
         if (tryAcquireLease(lp, lease)) {
+            // A successful O_CREAT|O_EXCL claim implies nobody committed
+            // the cell between our existence probe and now... except a
+            // racer who claimed, computed, committed, AND released in that
+            // window; committed cells are never recomputed, so re-probe.
+            CONSTABLE_ASSERT(!ctx.done[c],
+                             "claimed a cell already marked done in this "
+                             "process: claim loop state diverged");
+            if (fileExists(cellFilePath(ctx.dir, ctx.m, c))) {
+                removeLease(lp);
+                ctx.done[c] = 1;
+                continue;
+            }
             claimed.push_back(c);
             continue;
         }
@@ -282,6 +297,8 @@ workerPass(WorkerCtx& ctx)
     }
     if (claimed.empty())
         return 0;
+    CONSTABLE_ASSERT(claimed.size() <= maxClaims,
+                     "claim pass took more cells than local threads");
 
     forEachJob(claimed.size(), [&](size_t i, Rng&) {
         size_t c = claimed[i];
@@ -301,6 +318,12 @@ workerPass(WorkerCtx& ctx)
                       ctx.dir + "'");
             }
         }
+        // Commit precedes release: between saveRunResult's rename and
+        // removeLease, observers see both the cell file and the lease,
+        // which the claim scan tolerates (file check comes first).
+        CONSTABLE_ASSERT(fileExists(cellFilePath(ctx.dir, ctx.m, c)),
+                         "lease released before the cell checkpoint became "
+                         "visible: commit/release order inverted");
         removeLease(lp);
         ctx.done[c] = 1;
     }, ctx.opts.batch);

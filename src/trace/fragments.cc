@@ -53,10 +53,12 @@ GlobalConstFragment::burst(ProgramBuilder& b)
 // ---------------------------------------------------------------- inlined
 
 InlinedFuncFragment::InlinedFuncFragment(PC pc_base, Addr stack_off,
-                                         unsigned num_args, StoreMode mode,
+                                         unsigned num_args,
+                                         StoreMode store_mode,
                                          unsigned body_ops)
     : Fragment(pc_base, 0), stackOff(stack_off),
-      numArgs(std::clamp(num_args, 1u, 4u)), mode(mode), bodyOps(body_ops)
+      numArgs(std::clamp(num_args, 1u, 4u)), mode(store_mode),
+      bodyOps(body_ops)
 {
 }
 
@@ -219,9 +221,10 @@ ObjectFieldFragment::burst(ProgramBuilder& b)
 
 // ------------------------------------------------------------------- call
 
-CallFragment::CallFragment(PC pc_base, unsigned num_params, StoreMode mode)
+CallFragment::CallFragment(PC pc_base, unsigned num_params,
+                           StoreMode store_mode)
     : Fragment(pc_base, 0), numParams(std::clamp(num_params, 1u, 4u)),
-      mode(mode)
+      mode(store_mode)
 {
 }
 
@@ -484,7 +487,7 @@ BranchyFragment::BranchyFragment(PC pc_base, unsigned num_branches,
 }
 
 void
-BranchyFragment::setup(ProgramBuilder& b)
+BranchyFragment::setup(ProgramBuilder&)
 {
 }
 

@@ -7,6 +7,7 @@
 #include <bit>
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <random>
 #include <system_error>
@@ -99,14 +100,20 @@ class ByteReader
         return true;
     }
 
+    // Multi-byte reads go through memcpy, never a reinterpret_cast of
+    // data_ + pos_: the buffer may be an mmap view at arbitrary offset
+    // (loadTrace), where a cast load is an unaligned access UBSan rejects.
+    // memcpy compiles to a single load on every target we build for, and
+    // the explicit byteswap keeps the on-disk format little-endian.
     bool
     u32(uint32_t& v)
     {
         if (pos_ + 4 > n_)
             return false;
-        v = 0;
-        for (int i = 0; i < 4; ++i)
-            v |= static_cast<uint32_t>(data_[pos_++]) << (8 * i);
+        std::memcpy(&v, data_ + pos_, 4);
+        if constexpr (std::endian::native == std::endian::big)
+            v = __builtin_bswap32(v);
+        pos_ += 4;
         return true;
     }
 
@@ -115,9 +122,10 @@ class ByteReader
     {
         if (pos_ + 8 > n_)
             return false;
-        v = 0;
-        for (int i = 0; i < 8; ++i)
-            v |= static_cast<uint64_t>(data_[pos_++]) << (8 * i);
+        std::memcpy(&v, data_ + pos_, 8);
+        if constexpr (std::endian::native == std::endian::big)
+            v = __builtin_bswap64(v);
+        pos_ += 8;
         return true;
     }
 

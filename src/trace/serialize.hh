@@ -17,7 +17,7 @@
 #include <string>
 #include <vector>
 
-#include "cpu/core.hh"
+#include "common/run_result.hh"
 #include "trace/generator.hh"
 #include "trace/trace.hh"
 

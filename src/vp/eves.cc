@@ -2,9 +2,10 @@
 
 namespace constable {
 
-EvesPredictor::EvesPredictor(const EvesConfig& cfg)
-    : cfg(cfg), strideTable(cfg.strideEntries),
-      vtage(cfg.vtageTables, std::vector<VtageEntry>(cfg.vtageEntries))
+EvesPredictor::EvesPredictor(const EvesConfig& eves_cfg)
+    : cfg(eves_cfg), strideTable(eves_cfg.strideEntries),
+      vtage(eves_cfg.vtageTables,
+            std::vector<VtageEntry>(eves_cfg.vtageEntries))
 {
 }
 

@@ -1,0 +1,17 @@
+// Fixture copy of the one file allowed to touch raw parsing and getenv.
+#ifndef FIXTURE_COMMON_ENV_HH
+#define FIXTURE_COMMON_ENV_HH
+
+#include <cstdlib>
+#include <string>
+
+inline unsigned long long
+parseStrict(const std::string& v)
+{
+    // Raw strtoull and getenv are legal here and only here.
+    const char* raw = std::getenv("IGNORED");
+    (void)raw;
+    return std::strtoull(v.c_str(), nullptr, 10);
+}
+
+#endif

@@ -1,0 +1,26 @@
+// A file exercising every escape hatch and allowed pattern at once:
+// documented env var, justified wall-clock, justified unordered iteration
+// in a printf-bearing (therefore order-sensitive) file, and a
+// lower-layer include. Must lint clean.
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <unordered_map>
+
+#include "common/env.hh"
+
+static std::unordered_map<int, int> histogram;
+
+void
+report()
+{
+    std::string knob = "CONSTABLE_FIXTURE_KNOB";
+    long stamp =
+        // informational timestamp in a side channel. lint:wallclock
+        std::chrono::system_clock::now().time_since_epoch().count();
+    int sum = 0;
+    // summing is order-insensitive. lint:ordered
+    for (const auto& [k, v] : histogram)
+        sum += v;
+    std::printf("%s %ld %d\n", knob.c_str(), stamp, sum);
+}

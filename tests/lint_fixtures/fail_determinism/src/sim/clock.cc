@@ -1,0 +1,10 @@
+// Must trip determinism: rand() and system_clock in src/, no escape.
+#include <chrono>
+#include <cstdlib>
+
+unsigned long long
+jitter()
+{
+    auto t = std::chrono::system_clock::now().time_since_epoch().count();
+    return static_cast<unsigned long long>(t) + std::rand();
+}

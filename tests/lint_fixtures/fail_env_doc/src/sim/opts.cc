@@ -1,0 +1,8 @@
+// Must trip env-doc: reads an env var README.md does not document.
+#include <string>
+
+std::string
+knobName()
+{
+    return "CONSTABLE_UNDOCUMENTED_KNOB";
+}

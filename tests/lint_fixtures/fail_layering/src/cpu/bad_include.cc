@@ -1,0 +1,7 @@
+// Must trip layering: cpu/ (layer 4) reaching up into sim/ (layer 5).
+#include "sim/shard.hh"
+
+void
+pipelineStage()
+{
+}

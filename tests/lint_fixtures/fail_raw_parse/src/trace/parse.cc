@@ -1,0 +1,8 @@
+// Must trip raw-parse: atoi outside common/env.hh.
+#include <cstdlib>
+
+int
+parsePort(const char* s)
+{
+    return std::atoi(s);
+}

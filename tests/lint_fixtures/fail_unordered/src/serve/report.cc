@@ -1,0 +1,14 @@
+// Must trip unordered-iter: range-for over an unordered_map in a file
+// that prints a report, with no lint:ordered justification.
+#include <cstdio>
+#include <string>
+#include <unordered_map>
+
+static std::unordered_map<std::string, double> latencies;
+
+void
+printReport()
+{
+    for (const auto& [name, ms] : latencies)
+        std::printf("%s: %f\n", name.c_str(), ms);
+}

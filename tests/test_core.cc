@@ -317,8 +317,9 @@ TEST(Runner, RelocateTraceShiftsEverything)
     Trace r = relocateTrace(t, 0x1000, 0x100000);
     for (size_t i = 0; i < t.size(); ++i) {
         EXPECT_EQ(r.ops[i].pc, t.ops[i].pc + 0x1000);
-        if (t.ops[i].isMem())
+        if (t.ops[i].isMem()) {
             EXPECT_EQ(r.ops[i].effAddr, t.ops[i].effAddr + 0x100000);
+        }
     }
 }
 
