@@ -4,9 +4,12 @@
 #include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <functional>
 #include <queue>
+#include <system_error>
 
+#include "common/faultio.hh"
 #include "common/logging.hh"
 #include "common/rng.hh"
 #include "power/power.hh"
@@ -62,6 +65,131 @@ fingerprintBox(FpBuf& b, const BoxWhisker& w)
     b.f64(w.whiskerHi);
     b.f64(w.meanVal);
     b.u64(w.n);
+}
+
+// ----------------------------------------------- calibration cache
+//
+// Verification-only persistence of the fleet calibration sweep: the
+// calibration is always recomputed (it is cheap next to the sweep and
+// must stay the single source of truth), then checked against the cached
+// copy keyed by the sweep's matrix fingerprint. A stale or corrupt cache
+// file is quarantined and rewritten; a failed write degrades to a
+// warning. Report fingerprints and stdout never depend on the cache.
+
+constexpr uint64_t kCalibMagic = 0x4c434643ull; // "CFCL"
+constexpr uint64_t kCalibVersion = 1;
+
+std::vector<uint8_t>
+encodeCalibCache(uint64_t fp, const std::vector<MachineCalibration>& calib)
+{
+    FpBuf b;
+    b.u64(kCalibMagic);
+    b.u64(kCalibVersion);
+    b.u64(fp);
+    b.u64(calib.size());
+    for (const MachineCalibration& c : calib) {
+        b.u64(c.mech.size());
+        for (char ch : c.mech)
+            b.bytes.push_back(static_cast<uint8_t>(ch));
+        b.f64(c.cyclesPerOp);
+        b.f64(c.pjPerOp);
+    }
+    b.u64(fnv1a(b.bytes.data(), b.bytes.size()));
+    return b.bytes;
+}
+
+/** Bounds-checked little-endian reader over a calibration cache file. */
+struct CalibReader
+{
+    const uint8_t* p;
+    size_t n;
+    size_t at = 0;
+    bool ok = true;
+
+    uint64_t
+    u64()
+    {
+        if (at + 8 > n) {
+            ok = false;
+            return 0;
+        }
+        uint64_t v = 0;
+        for (int i = 0; i < 8; ++i)
+            v |= static_cast<uint64_t>(p[at + i]) << (8 * i);
+        at += 8;
+        return v;
+    }
+
+    double
+    f64()
+    {
+        uint64_t bits = u64();
+        double v;
+        std::memcpy(&v, &bits, sizeof(v));
+        return v;
+    }
+};
+
+bool
+decodeCalibCache(const std::vector<uint8_t>& bytes, uint64_t& fp,
+                 std::vector<MachineCalibration>& out)
+{
+    if (bytes.size() < 8 * 5)
+        return false;
+    uint64_t stored = 0;
+    for (int i = 0; i < 8; ++i) {
+        stored |= static_cast<uint64_t>(bytes[bytes.size() - 8 + i])
+                  << (8 * i);
+    }
+    if (fnv1a(bytes.data(), bytes.size() - 8) != stored)
+        return false;
+    CalibReader r { bytes.data(), bytes.size() - 8 };
+    if (r.u64() != kCalibMagic || r.u64() != kCalibVersion)
+        return false;
+    fp = r.u64();
+    uint64_t count = r.u64();
+    out.clear();
+    for (uint64_t i = 0; i < count && r.ok; ++i) {
+        MachineCalibration c;
+        uint64_t len = r.u64();
+        if (!r.ok || r.at + len > r.n)
+            return false;
+        c.mech.assign(reinterpret_cast<const char*>(r.p + r.at),
+                      static_cast<size_t>(len));
+        r.at += static_cast<size_t>(len);
+        c.cyclesPerOp = r.f64();
+        c.pjPerOp = r.f64();
+        out.push_back(std::move(c));
+    }
+    return r.ok;
+}
+
+void
+verifyCalibCache(const std::string& dir, const Scenario& sc,
+                 const std::vector<MachineCalibration>& calib, uint64_t fp)
+{
+    std::string file = "fleet-" + sanitizeFileName(sc.name) + ".calib";
+    std::string path = dir + "/" + file;
+    std::vector<uint8_t> bytes;
+    if (!faultFailed("fleet.calib.read") && readFileBytes(path, bytes)) {
+        uint64_t cachedFp = 0;
+        std::vector<MachineCalibration> cached;
+        if (decodeCalibCache(bytes, cachedFp, cached) && cachedFp == fp) {
+            inform("fleet calibration for '" + sc.name +
+                   "' matches its cached copy (fingerprint verified)");
+            return;
+        }
+        std::error_code ec;
+        std::filesystem::create_directories(dir + "/quarantine", ec);
+        std::filesystem::rename(path, dir + "/quarantine/" + file, ec);
+        warn("cached fleet calibration '" + path +
+             "' is stale or corrupt; quarantined and rewritten");
+    }
+    if (faultFailed("fleet.calib.write") ||
+        !writeFileAtomic(path, encodeCalibCache(fp, calib))) {
+        warn("cannot persist fleet calibration cache '" + path +
+             "'; continuing without it");
+    }
 }
 
 } // namespace
@@ -366,8 +494,13 @@ runFleetScenario(const Scenario& sc, ExperimentOptions opts)
     }
     ExperimentResult res = exp.run();
 
-    FleetReport rep = simulateFleet(sc, calibrateMachines(sc, res));
-    rep.calibFingerprint = resultFingerprint(res.matrix());
+    std::vector<MachineCalibration> calib = calibrateMachines(sc, res);
+    uint64_t calibFp = resultFingerprint(res.matrix());
+    if (!opts.checkpointDir.empty())
+        verifyCalibCache(opts.checkpointDir, sc, calib, calibFp);
+
+    FleetReport rep = simulateFleet(sc, calib);
+    rep.calibFingerprint = calibFp;
     rep.resumedCells = res.resumedCells();
     return rep;
 }

@@ -8,6 +8,7 @@
 #include <system_error>
 
 #include "common/env.hh"
+#include "common/faultio.hh"
 #include "common/logging.hh"
 #include "common/stats.hh"
 #include "trace/serialize.hh"
@@ -110,6 +111,9 @@ printUsage(const char* prog, int exit_code)
         "the\n                      bench's compiled-in figure\n"
         "  --scenario=FILE     run a declarative scenario file (see "
         "README)\n"
+        "  --fault-plan=SPEC   arm deterministic I/O fault injection "
+        "(see\n                      README \"Fault injection & "
+        "recovery\")\n"
         "  --help              this text\n"
         "Mechanism presets: %s\n"
         "Environment: CONSTABLE_THREADS, CONSTABLE_SEED, "
@@ -118,7 +122,9 @@ printUsage(const char* prog, int exit_code)
         "CONSTABLE_TRACE_CACHE_MAX_AGE_DAYS,\nCONSTABLE_SHARDS, "
         "CONSTABLE_SHARD_ID, CONSTABLE_LEASE_TTL_SEC,\n"
         "CONSTABLE_SHARD_POLL_MS, CONSTABLE_COST_MODEL, CONSTABLE_MECH,\n"
-        "CONSTABLE_SCENARIO (strict-parsed; CLI flags override env).\n",
+        "CONSTABLE_SCENARIO, CONSTABLE_FAULT_PLAN, "
+        "CONSTABLE_FAULT_MARKER_DIR,\nCONSTABLE_FAULT_SEED "
+        "(strict-parsed; CLI flags override env).\n",
         prog, MechanismRegistry::instance().nameList().c_str());
     std::exit(exit_code);
 }
@@ -167,6 +173,9 @@ ExperimentOptions::fromEnv()
         appendMechNames("CONSTABLE_MECH", *v, opts.mechNames);
     if (auto v = envStr("CONSTABLE_SCENARIO"))
         opts.scenarioFile = *v;
+    // Malformed CONSTABLE_FAULT_PLAN should die here, at startup, not at
+    // the first I/O call deep inside a sweep.
+    faultLoadEnvPlan();
     return opts;
 }
 
@@ -253,6 +262,10 @@ ExperimentOptions::fromArgs(int argc, char** argv)
             scenarioFromCli = true;
             if (!mechFromCli)
                 opts.mechNames.clear();
+        } else if (flag == "--fault-plan") {
+            installFaultPlan(val(),
+                             envStr("CONSTABLE_FAULT_MARKER_DIR")
+                                 .value_or(std::string()));
         } else {
             std::fprintf(stderr, "unknown argument '%s'\n", arg.c_str());
             printUsage(prog, 1);
@@ -312,12 +325,22 @@ Suite::fromSpecs(std::vector<WorkloadSpec> specs,
     const std::string& dir = opts.traceDir;
     if (!dir.empty())
         makeDirs(dir, "trace cache");
+    // Graceful degradation: any trace-cache fault (corrupt entry, failed
+    // read, failed rewrite) downgrades to regeneration, never aborts.
+    // Each job owns its own slot; totals are summed after the barrier.
+    std::vector<uint8_t> corruptEntry(specs.size(), 0);
+    std::vector<uint8_t> rewriteFailed(specs.size(), 0);
     forEachJob(specs.size(), [&](size_t i, Rng&) {
         Entry& e = s.entries_[i];
         e.spec = std::move(specs[i]);
         if (!dir.empty()) {
             std::string path = traceCachePath(dir, e.spec);
             e.fromCache = loadTrace(path, e.trace);
+            if (!e.fromCache) {
+                std::error_code xec;
+                if (std::filesystem::exists(path, xec) && !xec)
+                    corruptEntry[i] = 1;
+            }
             if (e.fromCache && (opts.traceCacheMaxMB != 0 ||
                                 opts.traceCacheMaxAgeDays != 0)) {
                 // LRU trimming ranks by mtime, which plain reads never
@@ -331,7 +354,8 @@ Suite::fromSpecs(std::vector<WorkloadSpec> specs,
                 // Missing, corrupt or stale-format: regenerate and refresh
                 // the cache entry (atomic write, safe under concurrency).
                 e.trace = generateTrace(e.spec);
-                saveTrace(path, e.trace);
+                if (!saveTrace(path, e.trace))
+                    rewriteFailed[i] = 1;
             }
         } else {
             e.trace = generateTrace(e.spec);
@@ -344,6 +368,21 @@ Suite::fromSpecs(std::vector<WorkloadSpec> specs,
     }, opts.batch());
     for (const Entry& e : s.entries_)
         (e.fromCache ? s.cacheHits_ : s.cacheMisses_)++;
+    size_t corrupt = 0, failedWrites = 0;
+    for (size_t i = 0; i < specs.size(); ++i) {
+        corrupt += corruptEntry[i];
+        failedWrites += rewriteFailed[i];
+    }
+    if (corrupt > 0) {
+        warn(std::to_string(corrupt) +
+             " trace cache entr" + (corrupt == 1 ? "y was" : "ies were") +
+             " present but unreadable; regenerated");
+    }
+    if (failedWrites > 0) {
+        warn(std::to_string(failedWrites) +
+             " regenerated trace(s) could not be written back to the "
+             "cache; continuing with in-memory traces");
+    }
     if (!dir.empty()) {
         // Opt-in retention: runs after preparation, so entries this suite
         // just wrote or refreshed are the newest and survive the LRU pass.
@@ -689,12 +728,26 @@ Experiment::runCells(size_t rows, bool smt)
     std::vector<uint8_t> done(m.results.size(), 0);
     if (!ckptDir.empty()) {
         writeOrVerifyManifest(ckptDir, manifest);
+        // A cell file that exists but fails to load — truncated, corrupt,
+        // or empty (0 bytes: a writer died before its first byte) — is
+        // regenerated exactly like a missing one, just counted and
+        // reported so operators notice a sick disk.
+        size_t corruptResume = 0;
         for (size_t cell = 0; cell < m.results.size(); ++cell) {
-            if (loadRunResult(cellFilePath(ckptDir, manifest, cell),
-                              m.results[cell])) {
+            std::string path = cellFilePath(ckptDir, manifest, cell);
+            if (loadRunResult(path, m.results[cell])) {
                 done[cell] = 1;
                 ++resumed;
+                continue;
             }
+            std::error_code xec;
+            if (std::filesystem::exists(path, xec) && !xec)
+                ++corruptResume;
+        }
+        if (corruptResume > 0) {
+            warn(std::to_string(corruptResume) +
+                 " checkpoint cell(s) present but unloadable (corrupt or "
+                 "empty); regenerating them");
         }
     }
 
@@ -702,9 +755,12 @@ Experiment::runCells(size_t rows, bool smt)
         if (done[job])
             return;
         m.results[job] = computeCell(job);
-        if (!ckptDir.empty())
-            saveRunResult(cellFilePath(ckptDir, manifest, job),
-                          m.results[job]);
+        if (!ckptDir.empty() &&
+            !saveRunResult(cellFilePath(ckptDir, manifest, job),
+                           m.results[job])) {
+            warn("cannot write checkpoint cell " + std::to_string(job) +
+                 "; the sweep continues but will not resume past it");
+        }
     }, opts_.batch());
 
     return ExperimentResult(*suite_, names_, std::move(m), resumed);

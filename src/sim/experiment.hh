@@ -311,11 +311,14 @@ class Experiment
      */
     ExperimentResult merge(bool smt = false);
 
-  private:
-    ExperimentResult runCells(size_t rows, bool smt);
-    /** Keyed per-sweep checkpoint subdirectory + its manifest. */
+    /** Keyed per-sweep checkpoint subdirectory + its manifest. Public so
+     *  harnesses (constable-faultsweep) can pre-seed the directory — e.g.
+     *  plant a stale foreign lease — before run() ever sees it. */
     std::string checkpointDirFor(const std::string& root, bool smt,
                                  SweepManifest& manifest, size_t rows) const;
+
+  private:
+    ExperimentResult runCells(size_t rows, bool smt);
 
     std::string name_;
     const Suite* suite_;

@@ -2,7 +2,6 @@
 
 #include <cctype>
 #include <cstdio>
-#include <fstream>
 #include <sstream>
 #include <unordered_set>
 
@@ -72,15 +71,15 @@ parseFleetBlock(const std::string& what, const std::vector<ScnLine>& lines,
     const bool isMachine = kind == "machine";
     if (cls != "class")
         parseFatal(what, headNo, "expected '" + kind + " class {'");
-    bool open = false;
+    bool braceOpen = false;
     if (hs >> brace) {
         if (brace != "{" || (hs >> extra))
             parseFatal(what, headNo,
                        "expected '{' after '" + kind + " class'");
-        open = true;
+        braceOpen = true;
     }
     ++i;
-    if (!open) {
+    if (!braceOpen) {
         // cloudsim style: the '{' may sit on its own following line.
         if (i >= lines.size() || lines[i].text != "{")
             parseFatal(what, headNo,
@@ -356,12 +355,10 @@ parseScenarioText(const std::string& text, const std::string& what)
 Scenario
 loadScenarioFile(const std::string& path)
 {
-    std::ifstream f(path, std::ios::binary);
-    if (!f)
+    std::string text;
+    if (!readFileText(path, text))
         fatal("cannot read scenario file '" + path + "'");
-    std::ostringstream buf;
-    buf << f.rdbuf();
-    return parseScenarioText(buf.str(), path);
+    return parseScenarioText(text, path);
 }
 
 uint64_t

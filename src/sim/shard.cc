@@ -7,11 +7,13 @@
 #include <cstdlib>
 #include <filesystem>
 #include <mutex>
+#include <set>
 #include <system_error>
 #include <thread>
 #include <unordered_map>
 
 #include "common/check.hh"
+#include "common/faultio.hh"
 #include "common/logging.hh"
 
 // fork()-based coordinator mode is POSIX-only; other platforms fall back
@@ -106,6 +108,11 @@ class LeaseHeartbeat
     {
         std::unique_lock<std::mutex> lk(mu_);
         while (!cv_.wait_for(lk, interval_, [this] { return stop_; })) {
+            // An injected heartbeat failure models a stalled refresh: the
+            // mtime goes stale, the lease gets reclaimed, and the commit
+            // path's ownership check must catch the loss.
+            if (faultFailed("lease.heartbeat"))
+                continue;
             std::error_code ec;
             fs::last_write_time(path_, fs::file_time_type::clock::now(),
                                 ec);
@@ -120,19 +127,34 @@ class LeaseHeartbeat
     bool stop_ = false;
 };
 
-bool
-readWholeFile(const std::string& path, std::string& out)
+/**
+ * Lease age for the claim loop, guarded against clock skew between the
+ * mtime writer and this reader (distinct machines on a shared filesystem,
+ * or an injected "lease.age" skew clause). A raw negative age on an
+ * existing file means the mtime is ahead of our clock: clamp to 0 (the
+ * lease reads as freshly refreshed, never as reclaimable), count it, and
+ * warn once the skew is large enough to distort expiry decisions. Missing
+ * files keep leaseAgeSeconds' negative sentinel untouched.
+ */
+double
+guardedLeaseAge(const std::string& path, double ttl, ShardOutcome& outcome)
 {
-    std::FILE* f = std::fopen(path.c_str(), "rb");
-    if (!f)
-        return false;
-    std::fseek(f, 0, SEEK_END);
-    long sz = std::ftell(f);
-    std::fseek(f, 0, SEEK_SET);
-    out.resize(sz > 0 ? static_cast<size_t>(sz) : 0);
-    size_t got = std::fread(out.data(), 1, out.size(), f);
-    std::fclose(f);
-    return got == out.size();
+    double age = leaseAgeSeconds(path) - faultSkewSeconds("lease.age");
+    if (age >= 0.0 || !fileExists(path))
+        return age;
+    ++outcome.skewClamped;
+    if (-age > ttl / 2) {
+        // Once per lease path: the claim loop polls this every pollMs.
+        static std::mutex warnedMu;
+        static std::set<std::string> warned;
+        std::lock_guard<std::mutex> lk(warnedMu);
+        if (warned.insert(path).second) {
+            warn("lease '" + path + "' mtime is " + std::to_string(-age) +
+                 "s in the future (clock skew beyond TTL/2); treating as "
+                 "fresh");
+        }
+    }
+    return 0.0;
 }
 
 /** Per-preset Mops/s from the "presets" array of a BENCH_perf.json (the
@@ -182,7 +204,7 @@ buildClaimOrder(const SweepManifest& m, const ShardOptions& opts)
 
     if (!opts.costModelPath.empty()) {
         std::string json;
-        if (readWholeFile(opts.costModelPath, json)) {
+        if (readFileText(opts.costModelPath, json)) {
             auto mops = parsePerfPresets(json);
             std::vector<double> cost(m.numConfigs, 0.0);
             double sum = 0.0;
@@ -286,7 +308,7 @@ workerPass(WorkerCtx& ctx)
         // lost the filesystem). The remove/re-acquire pair can race with
         // another reclaimer; determinism + atomic commits make a double
         // execution benign, so no stronger protocol is needed.
-        double age = leaseAgeSeconds(lp);
+        double age = guardedLeaseAge(lp, ttl, ctx.outcome);
         if (age >= ttl) {
             removeLease(lp);
             if (tryAcquireLease(lp, lease)) {
@@ -300,20 +322,44 @@ workerPass(WorkerCtx& ctx)
     CONSTABLE_ASSERT(claimed.size() <= maxClaims,
                      "claim pass took more cells than local threads");
 
+    std::vector<uint8_t> committed(claimed.size(), 0);
+    std::vector<uint8_t> abandoned(claimed.size(), 0);
     forEachJob(claimed.size(), [&](size_t i, Rng&) {
         size_t c = claimed[i];
         std::string lp = cellLeasePath(ctx.dir, ctx.m, c);
         // The claim may have queued behind other jobs: refresh the lease
-        // mtime so its TTL measures compute time, not queue time.
-        std::error_code ec;
-        fs::last_write_time(lp, fs::file_time_type::clock::now(), ec);
+        // mtime so its TTL measures compute time, not queue time. Same
+        // fault point as the background refresh — a lost refresh here just
+        // means the TTL measures queue time too.
+        if (!faultFailed("lease.heartbeat")) {
+            std::error_code ec;
+            fs::last_write_time(lp, fs::file_time_type::clock::now(), ec);
+        }
         {
             // Keep the lease fresh for as long as the cell computes (and
             // commits): the TTL can now be shorter than a cell.
             LeaseHeartbeat heartbeat(lp, ctx.opts.leaseTtlSec);
             RunResult r = ctx.compute(c);
-            if (!saveRunResult(cellFilePath(ctx.dir, ctx.m, c), r,
-                               /*durable=*/true)) {
+            // Commit-time ownership check: if the heartbeat stalled past
+            // the TTL, a reclaimer owns this cell now — committing over
+            // its lease would double-commit, so abandon instead. The
+            // retry absorbs transient read failures, which would
+            // otherwise masquerade as a lost lease.
+            LeaseRecord cur;
+            bool owned = retryWithBackoff("lease.read", [&] {
+                return readLease(lp, cur);
+            }) && cur.owner == lease.owner;
+            if (!owned) {
+                warn("lease for cell " + std::to_string(c) +
+                     " was lost during compute (heartbeat stalled past "
+                     "TTL?); abandoning the cell to its new owner");
+                abandoned[i] = 1;
+                return;
+            }
+            if (!retryWithBackoff("ckpt.cell.commit", [&] {
+                    return saveRunResult(cellFilePath(ctx.dir, ctx.m, c), r,
+                                         /*durable=*/true);
+                })) {
                 fatal("shard worker cannot write cell checkpoint in '" +
                       ctx.dir + "'");
             }
@@ -326,9 +372,15 @@ workerPass(WorkerCtx& ctx)
                          "visible: commit/release order inverted");
         removeLease(lp);
         ctx.done[c] = 1;
+        committed[i] = 1;
     }, ctx.opts.batch);
-    ctx.outcome.computed += claimed.size();
-    return claimed.size();
+    size_t ran = 0;
+    for (size_t i = 0; i < claimed.size(); ++i) {
+        ran += committed[i];
+        ctx.outcome.abandoned += abandoned[i];
+    }
+    ctx.outcome.computed += ran;
+    return ran;
 }
 
 /** Claim until every cell of the matrix has a committed checkpoint file
@@ -420,12 +472,19 @@ writeOrVerifyManifest(const std::string& dir, const SweepManifest& m)
     std::string path = dir + "/manifest.sweep";
     SweepManifest existing;
     if (!loadManifest(path, existing)) {
-        if (!saveManifest(path, m))
-            fatal("cannot write sweep manifest '" + path + "'");
-        // Two sweeps racing on an empty directory both "win" the write
-        // (last rename sticks): re-read so exactly one of them survives.
-        if (!loadManifest(path, existing))
-            fatal("cannot re-read sweep manifest '" + path + "'");
+        // Save-then-reload, retried: a transient write failure is absorbed
+        // by the backoff, and a torn write (half a manifest under a valid
+        // rename) fails the reload and is rewritten rather than trusted.
+        // The reload also arbitrates two sweeps racing on an empty
+        // directory (last rename sticks, so exactly one survives).
+        bool ok = false;
+        for (unsigned a = 0; a < 3 && !ok; ++a) {
+            ok = retryWithBackoff("sweep.manifest.write",
+                                  [&] { return saveManifest(path, m); }) &&
+                 loadManifest(path, existing);
+        }
+        if (!ok)
+            fatal("cannot write and re-read sweep manifest '" + path + "'");
     }
     if (!(existing == m)) {
         fatal("checkpoint directory '" + dir + "' belongs to sweep '" +
@@ -452,9 +511,39 @@ mergeShardedCells(const std::string& dir, const SweepManifest& m,
         // Missing, or present but failing its FNV checksum (a worker died
         // after rename was scheduled but before the data hit disk, or the
         // file was mangled): regenerate rather than aborting the merge.
+        std::string path = cellFilePath(dir, m, c);
+        if (fileExists(path)) {
+            ++outcome.corruptCells;
+            warn("cell checkpoint '" + path +
+                 "' is present but corrupt; regenerating");
+        }
         if (compute) {
             out[c] = (*compute)(c);
-            saveRunResult(cellFilePath(dir, m, c), out[c], /*durable=*/true);
+            // Save-then-verify: a checkpoint that keeps failing its own
+            // reload (bad disk, torn-write injection) must not be
+            // rewritten forever — after quarantineAfter attempts the bad
+            // file is moved aside and reported; the in-memory result
+            // keeps the merged matrix complete either way.
+            RunResult check;
+            bool verified = false;
+            for (unsigned a = 0; a < opts.quarantineAfter && !verified;
+                 ++a) {
+                verified = saveRunResult(path, out[c], /*durable=*/true) &&
+                           loadRunResult(path, check);
+            }
+            if (!verified) {
+                std::string qdir = dir + "/quarantine";
+                std::error_code qec;
+                fs::create_directories(qdir, qec);
+                fs::rename(path,
+                           qdir + "/cell-" + std::to_string(c / m.numConfigs) +
+                               "-" + std::to_string(c % m.numConfigs) + ".rr",
+                           qec);
+                ++outcome.quarantined;
+                warn("cell checkpoint '" + path + "' failed verification " +
+                     std::to_string(opts.quarantineAfter) +
+                     " times; quarantined into '" + qdir + "'");
+            }
             removeLease(cellLeasePath(dir, m, c));
             ++outcome.computed;
         } else {

@@ -60,6 +60,10 @@ struct ShardOptions
     unsigned leaseTtlSec = 120;
     /** Poll interval while waiting on cells other workers hold. */
     unsigned pollMs = 100;
+    /** A cell whose regenerated checkpoint still fails verification after
+     *  this many save/reload attempts is quarantined (moved into
+     *  <dir>/quarantine/) instead of being rewritten forever. */
+    unsigned quarantineAfter = 3;
     /** Optional cost model (a prior BENCH_perf.json): cells of presets
      *  with lower recorded Mops/s are claimed first, shrinking the tail
      *  where one worker holds the last big cell while the rest poll.
@@ -87,6 +91,18 @@ struct ShardOutcome
     size_t staleTmpRemoved = 0; ///< orphaned tmp files cleaned at merge
     size_t workersForked = 0;
     size_t workersFailed = 0; ///< forked workers that exited abnormally
+    /** Cells whose checkpoint file existed at merge but failed its
+     *  checksum (torn write / mangled file); each is regenerated. */
+    size_t corruptCells = 0;
+    /** Cells whose regenerated checkpoint kept failing verification and
+     *  were moved into <dir>/quarantine/ (in-memory result still used). */
+    size_t quarantined = 0;
+    /** Cells this worker computed but did not commit because its lease
+     *  was lost (reclaimed by another worker) before the commit. */
+    size_t abandoned = 0;
+    /** Lease-age reads whose raw age was negative (file mtime ahead of
+     *  the reader's clock — cross-machine skew) and were clamped to 0. */
+    size_t skewClamped = 0;
 };
 
 /** Computes one cell of the matrix; must be a pure function of the index

@@ -1,5 +1,7 @@
 #include "trace/serialize.hh"
 
+#include "common/faultio.hh"
+
 #include <unistd.h>
 
 #include <algorithm>
@@ -217,14 +219,28 @@ bool
 writeFileAtomic(const std::string& path, const std::vector<uint8_t>& bytes,
                 bool durable)
 {
+    if (faultFailed("atomic.tmp.open"))
+        return false;
     std::string tmp = path + tmpSuffix();
     std::FILE* f = std::fopen(tmp.c_str(), "wb");
     if (!f)
         return false;
-    size_t wrote = std::fwrite(bytes.data(), 1, bytes.size(), f);
-    bool ok = wrote == bytes.size();
-    if (ok && durable)
-        ok = std::fflush(f) == 0;
+    if (faultFailed("atomic.tmp.write")) {
+        std::fclose(f);
+        std::remove(tmp.c_str());
+        return false;
+    }
+    // A pending torn write (armed here or at a higher-level point like
+    // ckpt.cell.commit:torn) silently commits half the payload: the write
+    // and rename both "succeed", and only the trailing checksum can tell.
+    size_t n = bytes.size();
+    if (faultConsumeTorn())
+        n /= 2;
+    size_t wrote = n == 0 ? 0 : std::fwrite(bytes.data(), 1, n, f);
+    bool ok = wrote == n;
+    if (ok && durable) {
+        ok = std::fflush(f) == 0 && !faultFailed("atomic.tmp.fsync");
+    }
 #if defined(__unix__) || defined(__APPLE__)
     if (ok && durable)
         ok = ::fsync(::fileno(f)) == 0;
@@ -234,37 +250,25 @@ writeFileAtomic(const std::string& path, const std::vector<uint8_t>& bytes,
         std::remove(tmp.c_str());
         return false;
     }
+    // Crash at atomic.commit.rename models death just before the commit
+    // (an orphaned tmp file); crash at atomic.dir.fsync models death just
+    // after it (the file is committed but its dir entry not yet synced).
+    if (faultFailed("atomic.commit.rename")) {
+        std::remove(tmp.c_str());
+        return false;
+    }
     std::error_code ec;
     std::filesystem::rename(tmp, path, ec);
     if (ec) {
         std::remove(tmp.c_str());
         return false;
     }
-    if (durable)
+    if (durable && !faultFailed("atomic.dir.fsync"))
         fsyncDirOf(path);
     return true;
 }
 
 namespace {
-
-bool
-readFile(const std::string& path, std::vector<uint8_t>& bytes)
-{
-    std::FILE* f = std::fopen(path.c_str(), "rb");
-    if (!f)
-        return false;
-    std::fseek(f, 0, SEEK_END);
-    long sz = std::ftell(f);
-    if (sz < 0) {
-        std::fclose(f);
-        return false;
-    }
-    std::fseek(f, 0, SEEK_SET);
-    bytes.resize(static_cast<size_t>(sz));
-    size_t got = std::fread(bytes.data(), 1, bytes.size(), f);
-    std::fclose(f);
-    return got == bytes.size();
-}
 
 void
 putOp(ByteWriter& w, const MicroOp& op)
@@ -299,6 +303,38 @@ getOp(ByteReader& r, MicroOp& op)
 }
 
 } // namespace
+
+bool
+readFileBytes(const std::string& path, std::vector<uint8_t>& bytes)
+{
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        return false;
+    std::fseek(f, 0, SEEK_END);
+    long sz = std::ftell(f);
+    if (sz < 0) {
+        std::fclose(f);
+        return false;
+    }
+    std::fseek(f, 0, SEEK_SET);
+    bytes.resize(static_cast<size_t>(sz));
+    // A 0-byte file (a touched-but-never-written cell) must read as an
+    // empty buffer, not fread into a null data() pointer.
+    size_t got =
+        bytes.empty() ? 0 : std::fread(bytes.data(), 1, bytes.size(), f);
+    std::fclose(f);
+    return got == bytes.size();
+}
+
+bool
+readFileText(const std::string& path, std::string& out)
+{
+    std::vector<uint8_t> bytes;
+    if (!readFileBytes(path, bytes))
+        return false;
+    out.assign(bytes.begin(), bytes.end());
+    return true;
+}
 
 uint64_t
 fnv1a(const uint8_t* data, size_t n)
@@ -407,12 +443,16 @@ deserializeTrace(const std::vector<uint8_t>& bytes, Trace& out)
 bool
 saveTrace(const std::string& path, const Trace& t)
 {
+    if (faultFailed("trace.cache.write"))
+        return false;
     return writeFileAtomic(path, serializeTrace(t));
 }
 
 bool
 loadTrace(const std::string& path, Trace& out)
 {
+    if (faultFailed("trace.cache.read"))
+        return false;
 #ifdef CONSTABLE_HAVE_MMAP
     // Fast path: decode straight out of a read-only mapping. Any failure
     // (open, stat, empty file, mmap) falls back to the buffered read below
@@ -435,7 +475,7 @@ loadTrace(const std::string& path, Trace& out)
     }
 #endif
     std::vector<uint8_t> bytes;
-    return readFile(path, bytes) && deserializeTrace(bytes, out);
+    return readFileBytes(path, bytes) && deserializeTrace(bytes, out);
 }
 
 // ------------------------------------------------------------ run results
@@ -502,14 +542,18 @@ deserializeRunResult(const std::vector<uint8_t>& bytes, RunResult& out)
 bool
 saveRunResult(const std::string& path, const RunResult& r, bool durable)
 {
+    if (faultFailed("ckpt.cell.commit"))
+        return false;
     return writeFileAtomic(path, serializeRunResult(r), durable);
 }
 
 bool
 loadRunResult(const std::string& path, RunResult& out)
 {
+    if (faultFailed("ckpt.cell.read"))
+        return false;
     std::vector<uint8_t> bytes;
-    return readFile(path, bytes) && deserializeRunResult(bytes, out);
+    return readFileBytes(path, bytes) && deserializeRunResult(bytes, out);
 }
 
 // ------------------------------------------------- multi-process sweep files
@@ -565,14 +609,18 @@ deserializeManifest(const std::vector<uint8_t>& bytes, SweepManifest& out)
 bool
 saveManifest(const std::string& path, const SweepManifest& m)
 {
+    if (faultFailed("sweep.manifest.write"))
+        return false;
     return writeFileAtomic(path, serializeManifest(m), /*durable=*/true);
 }
 
 bool
 loadManifest(const std::string& path, SweepManifest& out)
 {
+    if (faultFailed("sweep.manifest.read"))
+        return false;
     std::vector<uint8_t> bytes;
-    return readFile(path, bytes) && deserializeManifest(bytes, out);
+    return readFileBytes(path, bytes) && deserializeManifest(bytes, out);
 }
 
 std::string
@@ -590,6 +638,10 @@ processOwnerTag()
 bool
 tryAcquireLease(const std::string& path, const LeaseRecord& r)
 {
+    // An injected failure here looks exactly like "someone else holds the
+    // claim"; the claim loop re-scans every pass, so it self-heals.
+    if (faultFailed("lease.acquire"))
+        return false;
     // "x" (C11): O_CREAT|O_EXCL — creation atomically decides the claim.
     std::FILE* f = std::fopen(path.c_str(), "wbx");
     if (!f)
@@ -619,8 +671,10 @@ tryAcquireLease(const std::string& path, const LeaseRecord& r)
 bool
 readLease(const std::string& path, LeaseRecord& out)
 {
+    if (faultFailed("lease.read"))
+        return false;
     std::vector<uint8_t> bytes;
-    if (!readFile(path, bytes))
+    if (!readFileBytes(path, bytes))
         return false;
     size_t payload;
     if (!checkedPayload(bytes.data(), bytes.size(), payload))
@@ -654,6 +708,8 @@ leaseAgeSeconds(const std::string& path)
 bool
 removeLease(const std::string& path)
 {
+    if (faultFailed("lease.release"))
+        return false;
     std::error_code ec;
     return std::filesystem::remove(path, ec) && !ec;
 }

@@ -56,6 +56,15 @@ bool writeFileAtomic(const std::string& path,
                      const std::vector<uint8_t>& bytes,
                      bool durable = false);
 
+/** Read a whole file into @p bytes; false on missing/unreadable files.
+ *  The read-side primitive behind every load* helper — and the only
+ *  sanctioned way for sim/serve code to slurp a file (see the lint
+ *  raw-io rule); an empty file reads as an empty buffer, not an error. */
+bool readFileBytes(const std::string& path, std::vector<uint8_t>& bytes);
+
+/** Read a whole file as text (same contract as readFileBytes). */
+bool readFileText(const std::string& path, std::string& out);
+
 /** Load and verify; false on missing/corrupt/truncated/mismatched files.
  *  Decodes from an mmap view of the file where the platform supports it
  *  (no intermediate whole-file heap buffer), falling back to a buffered

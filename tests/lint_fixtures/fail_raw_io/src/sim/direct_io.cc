@@ -1,0 +1,15 @@
+// Fixture: direct stream I/O in src/sim must be flagged by raw-io (the
+// fault-injection shim is the only sanctioned path to the filesystem).
+#include <fstream>
+#include <string>
+
+namespace constable {
+
+void
+dumpDirectly(const std::string& path)
+{
+    std::ofstream out(path);
+    out << "bypasses the faultio shim\n";
+}
+
+} // namespace constable

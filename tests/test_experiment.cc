@@ -289,6 +289,50 @@ TEST_F(Checkpoint, ResumeFromPartialCheckpointIsBitIdentical)
     EXPECT_EQ(warm.totalCycles(), ref.totalCycles());
 }
 
+/**
+ * The 0-byte-cell regression: a checkpoint cell truncated to nothing (a
+ * crash between open and first write, or an enospc-starved writer) and one
+ * holding garbage must both be treated as corrupt — regenerated with a
+ * counted warning, never trusted, never fatal — and the resumed sweep must
+ * stay bit-identical to an uninterrupted run.
+ */
+TEST_F(Checkpoint, ZeroByteAndGarbageCellsAreRegeneratedNotTrusted)
+{
+    ExperimentOptions opts = serialOpts();
+    Suite suite = Suite::fromSpecs(twoSpecs(), opts);
+    auto makeExp = [&](const ExperimentOptions& o) {
+        Experiment e("zerobyte", suite, o);
+        e.add("baseline", mechFor("baseline"))
+            .add("constable", mechFor("constable"));
+        return e;
+    };
+    auto ref = makeExp(opts).run();
+
+    ExperimentOptions ck = opts;
+    ck.checkpointDir = dir;
+    makeExp(ck).run();
+    std::vector<std::string> cells;
+    for (const auto& sub : fs::directory_iterator(dir))
+        for (const auto& f : fs::directory_iterator(sub.path()))
+            if (f.path().extension() == ".rr")
+                cells.push_back(f.path().string());
+    ASSERT_EQ(cells.size(), 4u); // 2 rows x 2 configs
+    std::sort(cells.begin(), cells.end());
+    fs::resize_file(cells[0], 0);              // the classic 0-byte cell
+    std::ofstream(cells[1]) << "not a cell";   // and a garbage sibling
+
+    auto resumed = makeExp(ck).run();
+    EXPECT_EQ(resumed.resumedCells(), 2u); // only the intact pair loads
+    EXPECT_EQ(resumed.totalCycles(), ref.totalCycles());
+    EXPECT_EQ(resumed.matrix().aggregateStats().all(),
+              ref.matrix().aggregateStats().all());
+
+    // The regenerated cells are back on disk and trusted on the next run.
+    auto warm = makeExp(ck).run();
+    EXPECT_EQ(warm.resumedCells(), 4u);
+    EXPECT_EQ(warm.totalCycles(), ref.totalCycles());
+}
+
 TEST_F(Checkpoint, SmtSweepCheckpointsSeparatelyFromNoSmt)
 {
     ExperimentOptions ck = serialOpts();

@@ -91,6 +91,11 @@ TEST(Lint, EnvDocFires)
     expectRuleFires("fail_env_doc", "env-doc");
 }
 
+TEST(Lint, RawIoFires)
+{
+    expectRuleFires("fail_raw_io", "raw-io");
+}
+
 TEST(Lint, DiagnosticFormat)
 {
     // file:line: rule: message — machine-parseable, clickable in editors.

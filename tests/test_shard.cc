@@ -18,6 +18,7 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include "common/faultio.hh"
 #include "sim/experiment.hh"
 #include "sim/shard.hh"
 #include "trace/serialize.hh"
@@ -454,6 +455,120 @@ TEST_F(ShardTest, NoDoubleComputationWithSlowCellsAndShortTtl)
         EXPECT_EQ(serializeRunResult(outB[c]),
                   serializeRunResult(syntheticCell(c)));
     }
+}
+
+/**
+ * The heartbeat-vs-reclaim race, from the losing side: while a worker
+ * computes, its lease is usurped (as a TTL-expiry reclaim by another worker
+ * would). The commit-time ownership check must detect the lost lease,
+ * abandon the cell without committing over the usurper, and let the normal
+ * claim loop reclaim + recompute it — exactly once, no double-commit.
+ */
+TEST_F(ShardTest, LostLeaseIsDetectedAtCommitAndCellAbandoned)
+{
+    SweepManifest m = syntheticManifest();
+    m.numRows = 1;
+    m.numConfigs = 1;
+    m.configNames = { "contested" };
+    std::string lp = cellLeasePath(dir, m, 0);
+
+    unsigned invocations = 0;
+    auto compute = [&](size_t cell) -> RunResult {
+        if (++invocations == 1) {
+            // Simulate a sibling reclaiming mid-compute: our lease file is
+            // replaced by one bearing a foreign owner.
+            removeLease(lp);
+            LeaseRecord foreign;
+            foreign.owner = "other-host:4242";
+            EXPECT_TRUE(tryAcquireLease(lp, foreign));
+        }
+        return syntheticCell(cell);
+    };
+
+    std::vector<RunResult> out;
+    ShardOutcome oc = runShardedCells(dir, m, compute, out,
+                                      workerOpts(0, /*ttl_sec=*/1));
+    EXPECT_EQ(oc.abandoned, 1u);   // first pass computed but never committed
+    EXPECT_EQ(oc.computed, 1u);    // the reclaimed re-run is the only commit
+    EXPECT_GE(oc.reclaimed, 1u);   // the foreign lease aged out
+    EXPECT_EQ(invocations, 2u);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(serializeRunResult(out[0]), serializeRunResult(syntheticCell(0)));
+}
+
+/**
+ * Quarantine: a cell whose regenerated checkpoint keeps failing
+ * verification (every write torn via the fault shim) must be moved into
+ * <dir>/quarantine/ after opts.quarantineAfter attempts instead of being
+ * rewritten forever — while the in-memory result keeps the matrix complete.
+ */
+TEST_F(ShardTest, PersistentlyCorruptCellIsQuarantined)
+{
+    SweepManifest m = syntheticManifest();
+    std::vector<RunResult> out;
+    runShardedCells(dir, m, syntheticCell, out, workerOpts(0));
+
+    // Corrupt one committed cell, then make every rewrite tear.
+    fs::resize_file(cellFilePath(dir, m, 2), 5);
+    installFaultPlan("atomic.tmp.write:torn@999");
+
+    std::vector<RunResult> merged;
+    ShardOutcome oc;
+    CellFn compute = syntheticCell;
+    EXPECT_TRUE(mergeShardedCells(dir, m, &compute, merged, workerOpts(0),
+                                  oc));
+    clearFaultPlan();
+
+    EXPECT_GE(oc.corruptCells, 1u);
+    EXPECT_EQ(oc.quarantined, 1u);
+    EXPECT_FALSE(fs::exists(cellFilePath(dir, m, 2))); // moved, not left
+    bool inQuarantine = false;
+    for (const auto& e : fs::directory_iterator(dir + "/quarantine"))
+        inQuarantine |= e.path().filename().string().rfind("cell-", 0) == 0;
+    EXPECT_TRUE(inQuarantine);
+    ASSERT_EQ(merged.size(), m.numCells());
+    for (size_t c = 0; c < merged.size(); ++c) {
+        EXPECT_EQ(serializeRunResult(merged[c]),
+                  serializeRunResult(syntheticCell(c)));
+    }
+}
+
+/**
+ * The lease-expiry skew guard: with injected clock skew larger than the
+ * lease's raw age, the adjusted age goes negative. It must be clamped to 0
+ * (fresh — never "instantly reclaimable") and counted, and the sweep must
+ * still complete once the lease's real owner commits the cell.
+ */
+TEST_F(ShardTest, ClockSkewOnLeaseAgeIsClampedNotReclaimed)
+{
+    SweepManifest m = syntheticManifest();
+    m.numRows = 1;
+    m.numConfigs = 1;
+    m.configNames = { "skewed" };
+    writeOrVerifyManifest(dir, m);
+    std::string lp = cellLeasePath(dir, m, 0);
+    LeaseRecord other;
+    other.owner = "other-host:99999";
+    ASSERT_TRUE(tryAcquireLease(lp, other));
+
+    installFaultPlan("lease.age:skew@400");
+    std::thread committer([&] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(300));
+        ASSERT_TRUE(saveRunResult(cellFilePath(dir, m, 0), syntheticCell(0),
+                                  true));
+        removeLease(lp);
+    });
+    std::vector<RunResult> out;
+    ShardOutcome oc = runShardedCells(dir, m, syntheticCell, out,
+                                      workerOpts(0, /*ttl_sec=*/300));
+    committer.join();
+    clearFaultPlan();
+
+    EXPECT_GE(oc.skewClamped, 1u); // raw age ~0 minus 400 s of skew
+    EXPECT_EQ(oc.reclaimed, 0u);   // clamped-to-fresh is never reclaimed
+    EXPECT_EQ(oc.computed, 0u);    // the real owner's commit was honored
+    EXPECT_EQ(serializeRunResult(out[0]),
+              serializeRunResult(syntheticCell(0)));
 }
 
 // -------------------------------------------------- cost-model scheduling

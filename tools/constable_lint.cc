@@ -34,6 +34,14 @@
  *   env-doc        every "CONSTABLE_*" env-var string literal in src/ and
  *                  tools/ must appear in README.md, so the option table
  *                  can never silently lag the code.
+ *   raw-io         fopen/ifstream/ofstream/::open/::rename and friends are
+ *                  banned in src/sim, src/trace and src/serve outside the
+ *                  shim backend (trace/serialize.cc): every filesystem
+ *                  touchpoint must route through the fault-injection shim
+ *                  (common/faultio) so constable-faultsweep can prove its
+ *                  recovery path. std::filesystem:: spellings (fs::rename
+ *                  etc.) are exempt; justified raw sites carry
+ *                  `// lint:rawio <why>`.
  */
 
 #include <algorithm>
@@ -361,6 +369,63 @@ checkBannedIdentifiers(const SourceFile& sf, std::vector<Violation>& out)
     }
 }
 
+// ---------------------------------------------------------- rule: raw-io
+
+const std::set<std::string>&
+bannedIoIdents()
+{
+    static const std::set<std::string> s = {
+        "fopen", "freopen", "open", "creat", "rename",
+        "ifstream", "ofstream", "fstream",
+    };
+    return s;
+}
+
+/** Does the code line's text immediately before @p col end with @p pre? */
+bool
+precededBy(const std::string& codeLine, size_t col, const char* pre)
+{
+    size_t n = std::strlen(pre);
+    return col >= n && codeLine.compare(col - n, n, pre) == 0;
+}
+
+void
+checkRawIo(const SourceFile& sf, std::vector<Violation>& out)
+{
+    bool inScope = sf.relDir == "src/sim" || sf.relDir == "src/trace" ||
+                   sf.relDir == "src/serve";
+    if (!inScope)
+        return;
+    // The shim's backend: the one sanctioned home of raw file I/O, where
+    // every call is paired with its fault point.
+    if (sf.path.size() >= 18 &&
+        sf.path.compare(sf.path.size() - 18, 18, "trace/serialize.cc") == 0)
+        return;
+    for (size_t l = 0; l < sf.code.size(); ++l) {
+        const std::string& cl = sf.code[l];
+        for (const auto& [col, id] : identifiers(cl)) {
+            if (!bannedIoIdents().count(id))
+                continue;
+            // std::filesystem's error_code spellings stay legal: the rule
+            // targets the stdio/POSIX/iostream calls that would bypass
+            // the shim, not filesystem metadata ops.
+            if (precededBy(cl, col, "fs::") ||
+                precededBy(cl, col, "filesystem::"))
+                continue;
+            if (hasEscape(sf, l + 1, "lint:rawio"))
+                continue;
+            out.push_back({ sf.path, l + 1, "raw-io",
+                            "'" + id + "' is banned in sim/trace/serve "
+                            "outside trace/serialize.cc: route file I/O "
+                            "through the faultio shim helpers "
+                            "(writeFileAtomic/readFileBytes/readFileText) "
+                            "so constable-faultsweep covers the call site "
+                            "(justify exceptions with "
+                            "// lint:rawio <why>)" });
+        }
+    }
+}
+
 // --------------------------------------------------- rule: unordered-iter
 
 /** Names declared (anywhere in the scanned tree) with an unordered type:
@@ -547,6 +612,7 @@ runLint(const std::string& rootArg)
     for (const SourceFile& sf : files) {
         checkLayering(sf, violations);
         checkBannedIdentifiers(sf, violations);
+        checkRawIo(sf, violations);
         checkUnorderedIteration(sf, unorderedNames, violations);
         if (sf.relDir.rfind("src/", 0) == 0 || sf.relDir == "tools")
             collectEnvStrings(sf, envPending, envNeeded);
