@@ -64,6 +64,7 @@ faultPointTable()
 namespace detail {
 
 std::atomic<bool> faultArmed { false };
+std::atomic<FaultRetryObserver> retryObserver { nullptr };
 
 } // namespace detail
 
@@ -428,6 +429,12 @@ backoffDelayMs(const char* point, unsigned attempt, const BackoffPolicy& p)
     delay *= 1.0 + p.jitterFrac * rng.uniform();
     delay = std::min(delay, static_cast<double>(p.capMs));
     return static_cast<unsigned>(delay);
+}
+
+FaultRetryObserver
+setFaultRetryObserver(FaultRetryObserver fn)
+{
+    return detail::retryObserver.exchange(fn, std::memory_order_relaxed);
 }
 
 FaultSleepFn

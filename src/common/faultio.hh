@@ -168,6 +168,23 @@ FaultSleepFn setFaultSleepFn(FaultSleepFn fn);
 void faultSleepMs(unsigned ms);
 
 /**
+ * Observer invoked after each retryWithBackoff() sleep with the point
+ * name and the delay just taken. The observability tier (common/obs)
+ * installs one at arm time to count retries and reconstruct backoff
+ * spans; faultio itself never depends on obs. Relaxed atomic: the
+ * unobserved path costs one load.
+ */
+using FaultRetryObserver = void (*)(const char* point, unsigned ms);
+
+namespace detail {
+extern std::atomic<FaultRetryObserver> retryObserver;
+} // namespace detail
+
+/** Install (or clear, with nullptr) the retry observer; returns the
+ *  previous one. */
+FaultRetryObserver setFaultRetryObserver(FaultRetryObserver fn);
+
+/**
  * Run `fn` until it returns true, sleeping backoffDelayMs() between
  * tries, up to p.attempts total tries. Returns the final outcome. The
  * transient-failure absorber for lease/commit/manifest writes.
@@ -181,7 +198,11 @@ retryWithBackoff(const char* point, Fn&& fn, const BackoffPolicy& p = {})
             return true;
         if (attempt + 1 >= p.attempts)
             return false;
-        faultSleepMs(backoffDelayMs(point, attempt, p));
+        unsigned ms = backoffDelayMs(point, attempt, p);
+        faultSleepMs(ms);
+        if (FaultRetryObserver ob =
+                detail::retryObserver.load(std::memory_order_relaxed))
+            ob(point, ms);
     }
 }
 

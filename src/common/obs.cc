@@ -1,0 +1,943 @@
+#include "common/obs.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <vector>
+
+#include "common/faultio.hh"
+#include "common/logging.hh"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+namespace constable {
+
+namespace {
+
+/** Spans per thread lane before overflow starts dropping (and counting). */
+constexpr size_t kRingCap = 4096;
+
+/** One recorded slice. Names/cats point at string literals or interned
+ *  strings (stable for the process lifetime). */
+struct SpanRec
+{
+    const char* name;
+    const char* cat;
+    uint64_t startUs;
+    uint64_t durUs;
+};
+
+/** A trace lane: one real thread's ring buffer, or a synthetic lane
+ *  (merged shard partials, fleet machine classes). */
+struct Lane
+{
+    std::string name;
+    std::vector<SpanRec> spans;
+    uint64_t dropped = 0;
+};
+
+struct Registry
+{
+    std::mutex mu;
+    std::map<std::string, std::unique_ptr<ObsCounter>> counters;
+    std::map<std::string, std::unique_ptr<ObsGauge>> gauges;
+    std::map<std::string, std::unique_ptr<ObsHistogram>> histograms;
+    /** Thread lanes in registration order, then synthetic lanes; lanes
+     *  are never destroyed (thread_local pointers outlive their thread's
+     *  useful life only until process exit). */
+    std::vector<std::unique_ptr<Lane>> lanes;
+    /** Interned span names/cats for spans not backed by literals. */
+    std::set<std::string> intern;
+    std::string traceOut;
+    std::string metricsOut;
+    bool atexitRegistered = false;
+    uint64_t threadLaneCount = 0;
+};
+
+Registry&
+reg()
+{
+    static Registry r;
+    return r;
+}
+
+uint64_t
+processId()
+{
+#if defined(__unix__) || defined(__APPLE__)
+    return static_cast<uint64_t>(::getpid());
+#else
+    return 1;
+#endif
+}
+
+const char*
+internString(Registry& r, const std::string& s)
+{
+    return r.intern.insert(s).first->c_str();
+}
+
+Lane&
+laneForThisThread()
+{
+    // Registration is once per thread; afterwards the pointer is reused.
+    // All mutation of a lane's spans happens under reg().mu (spans are
+    // coarse — cells, cache preps, backoffs — so the lock is cold).
+    thread_local Lane* tl = nullptr;
+    if (!tl) {
+        Registry& r = reg();
+        std::lock_guard<std::mutex> lk(r.mu);
+        auto lane = std::make_unique<Lane>();
+        lane->name = r.threadLaneCount == 0
+                         ? "main"
+                         : "thread-" + std::to_string(r.threadLaneCount);
+        ++r.threadLaneCount;
+        lane->spans.reserve(kRingCap);
+        tl = lane.get();
+        r.lanes.push_back(std::move(lane));
+    }
+    return *tl;
+}
+
+Lane&
+namedLaneLocked(Registry& r, const std::string& name)
+{
+    for (auto& l : r.lanes) {
+        if (l->name == name)
+            return *l;
+    }
+    auto lane = std::make_unique<Lane>();
+    lane->name = name;
+    Lane& ref = *lane;
+    r.lanes.push_back(std::move(lane));
+    return ref;
+}
+
+void
+appendSpanLocked(Lane& lane, const SpanRec& s)
+{
+    if (lane.spans.size() >= kRingCap) {
+        ++lane.dropped;
+        return;
+    }
+    lane.spans.push_back(s);
+}
+
+/** JSON string escaping (quotes, backslashes, control chars). */
+std::string
+jsonEscape(const std::string& s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+/** Atomic whole-file write: tmp + rename. This is src/common, below the
+ *  faultio shim's clients — obs output is diagnostics, not simulated
+ *  state, so it deliberately does not route through fault injection. */
+bool
+writeAtomic(const std::string& path, const std::string& content)
+{
+    std::string tmp =
+        path + ".tmp." + std::to_string(processId());
+    std::FILE* f = std::fopen(tmp.c_str(), "wb");
+    if (!f)
+        return false;
+    size_t put = std::fwrite(content.data(), 1, content.size(), f);
+    bool ok = put == content.size() && std::fclose(f) == 0;
+    if (!ok) {
+        std::remove(tmp.c_str());
+        return false;
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        return false;
+    }
+    return true;
+}
+
+bool
+readAll(const std::string& path, std::string& out)
+{
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        return false;
+    out.clear();
+    char buf[4096];
+    size_t got;
+    while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        out.append(buf, got);
+    bool ok = !std::ferror(f);
+    std::fclose(f);
+    return ok;
+}
+
+/** Lenient digit-run parser for partial/status payloads: corrupt input
+ *  must fail the merge, not fatal() the coordinator (env.hh's strict
+ *  parsers are for operator-supplied knobs). */
+bool
+parseU64Field(const std::string& s, uint64_t& out)
+{
+    if (s.empty())
+        return false;
+    uint64_t v = 0;
+    for (char c : s) {
+        if (c < '0' || c > '9')
+            return false;
+        uint64_t d = static_cast<uint64_t>(c - '0');
+        if (v > (UINT64_MAX - d) / 10)
+            return false;
+        v = v * 10 + d;
+    }
+    out = v;
+    return true;
+}
+
+void
+writeOutputsAtExit()
+{
+    Registry& r = reg();
+    std::string traceOut, metricsOut;
+    {
+        std::lock_guard<std::mutex> lk(r.mu);
+        traceOut = r.traceOut;
+        metricsOut = r.metricsOut;
+    }
+    if (!metricsOut.empty() && !obsWriteMetrics(metricsOut))
+        warn("cannot write metrics snapshot '" + metricsOut + "'");
+    if (!traceOut.empty() && !obsWriteTrace(traceOut))
+        warn("cannot write trace '" + traceOut + "'");
+}
+
+// ---------------------------------------------------------- progress
+
+struct ProgressState
+{
+    std::mutex mu;
+    std::string label;
+    std::string statusPath;
+    size_t total = 0;
+    size_t doneLocal = 0;
+    size_t doneExternal = 0;
+    uint64_t ops = 0;
+    unsigned intervalSec = 10;
+    uint64_t beginUs = 0;
+    uint64_t lastReportUs = 0;
+    uint64_t lastReportOps = 0;
+    uint64_t lastStatusUs = 0;
+    bool reported = false;
+};
+
+std::atomic<bool> progressActive { false };
+
+ProgressState&
+progress()
+{
+    static ProgressState p;
+    return p;
+}
+
+/** Seconds since the unix epoch, for status.json consumers on other
+ *  machines (steady_clock has no cross-process meaning as a date).
+ *  Diagnostics only — never feeds simulated state. lint:wallclock */
+uint64_t
+unixNowSec()
+{
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::seconds>(
+            // lint:wallclock status.json freshness stamp, never sim state
+            std::chrono::system_clock::now().time_since_epoch())
+            .count());
+}
+
+/** Emit the stderr line and/or rewrite status.json when their intervals
+ *  have elapsed (or unconditionally when `final`). Caller holds p.mu. */
+void
+progressEmitLocked(ProgressState& p, bool final)
+{
+    uint64_t nowUs = obsdetail::obsNowUs();
+    size_t done = std::max(p.doneLocal, p.doneExternal);
+    double elapsedSec =
+        static_cast<double>(nowUs - p.beginUs) / 1e6;
+
+    // Rolling Mops/s over the window since the last report; overall
+    // average when the window carries no ops (e.g. external-scan ticks).
+    auto mopsOver = [&](uint64_t ops, double sec) {
+        return sec > 0.0 ? static_cast<double>(ops) / sec / 1e6 : 0.0;
+    };
+    double rollingMops =
+        p.ops > p.lastReportOps && nowUs > p.lastReportUs
+            ? mopsOver(p.ops - p.lastReportOps,
+                       static_cast<double>(nowUs - p.lastReportUs) / 1e6)
+            : mopsOver(p.ops, elapsedSec);
+
+    // Observed-cost ETA: remaining cells at the average per-cell
+    // wall-clock so far (the same model the sharded claim order uses).
+    uint64_t etaSec = 0;
+    if (done > 0 && done < p.total) {
+        etaSec = static_cast<uint64_t>(
+            elapsedSec / static_cast<double>(done) *
+            static_cast<double>(p.total - done));
+    }
+
+    // The closing summary only prints when a periodic line preceded it:
+    // runs shorter than one interval stay completely silent on stderr
+    // (unit tests, smoke benches) while long sweeps always end with a
+    // final "done" line even if the last interval was cut short.
+    if (p.intervalSec > 0 &&
+        (final ? p.reported
+               : nowUs - p.lastReportUs >=
+                     static_cast<uint64_t>(p.intervalSec) * 1'000'000ull)) {
+        double pct = p.total > 0
+                         ? 100.0 * static_cast<double>(done) /
+                               static_cast<double>(p.total)
+                         : 0.0;
+        if (final) {
+            std::fprintf(stderr,
+                         "progress: %s done, %zu/%zu cells, %.2f Mops/s, "
+                         "%.1fs elapsed\n",
+                         p.label.c_str(), done, p.total, rollingMops,
+                         elapsedSec);
+        } else {
+            std::fprintf(stderr,
+                         "progress: %s %zu/%zu cells (%.1f%%), %.2f "
+                         "Mops/s, eta %llus\n",
+                         p.label.c_str(), done, p.total, pct, rollingMops,
+                         static_cast<unsigned long long>(etaSec));
+        }
+        p.lastReportUs = nowUs;
+        p.lastReportOps = p.ops;
+        p.reported = true;
+    }
+
+    // status.json is throttled to ~1/s so pollers never starve writers;
+    // the atomic rename means a concurrent reader sees old or new bytes,
+    // never a torn file.
+    if (!p.statusPath.empty() &&
+        (final || nowUs - p.lastStatusUs >= 1'000'000ull)) {
+        char buf[512];
+        std::snprintf(
+            buf, sizeof(buf),
+            "{\"experiment\":\"%s\",\"state\":\"%s\","
+            "\"cells_done\":%zu,\"cells_total\":%zu,"
+            "\"mops\":%.3f,\"eta_sec\":%llu,\"elapsed_sec\":%.1f,"
+            "\"owner\":\"pid-%llu\",\"updated_unix_sec\":%llu}\n",
+            jsonEscape(p.label).c_str(), final ? "done" : "running", done,
+            p.total, rollingMops, static_cast<unsigned long long>(etaSec),
+            elapsedSec, static_cast<unsigned long long>(processId()),
+            static_cast<unsigned long long>(unixNowSec()));
+        writeAtomic(p.statusPath, buf);
+        p.lastStatusUs = nowUs;
+    }
+}
+
+/** Minimal flat-JSON field readers for obsFormatStatus (the schema is
+ *  ours and flat; a full parser would be overkill). */
+bool
+jsonNumField(const std::string& json, const std::string& key, double& out)
+{
+    size_t at = json.find("\"" + key + "\":");
+    if (at == std::string::npos)
+        return false;
+    at += key.size() + 3;
+    // Parse manually: digits, optional '.', digits (no strtod — keep the
+    // dependency surface tiny and locale-proof).
+    uint64_t ip = 0;
+    size_t i = at;
+    bool any = false;
+    while (i < json.size() && json[i] >= '0' && json[i] <= '9') {
+        ip = ip * 10 + static_cast<uint64_t>(json[i] - '0');
+        ++i;
+        any = true;
+    }
+    double v = static_cast<double>(ip);
+    if (i < json.size() && json[i] == '.') {
+        ++i;
+        double scale = 0.1;
+        while (i < json.size() && json[i] >= '0' && json[i] <= '9') {
+            v += scale * (json[i] - '0');
+            scale *= 0.1;
+            ++i;
+            any = true;
+        }
+    }
+    if (!any)
+        return false;
+    out = v;
+    return true;
+}
+
+bool
+jsonStrField(const std::string& json, const std::string& key,
+             std::string& out)
+{
+    size_t at = json.find("\"" + key + "\":\"");
+    if (at == std::string::npos)
+        return false;
+    at += key.size() + 4;
+    size_t end = at;
+    while (end < json.size() && json[end] != '"') {
+        if (json[end] == '\\')
+            ++end;
+        ++end;
+    }
+    if (end >= json.size())
+        return false;
+    out = json.substr(at, end - at);
+    return true;
+}
+
+} // namespace
+
+namespace obsdetail {
+
+std::atomic<bool> obsArmedFlag { false };
+
+uint64_t
+obsNowUs()
+{
+    // The epoch is pinned at static init (g_obsEpochPinned below), so
+    // fork children inherit it and their span timestamps align with the
+    // coordinator's on one CLOCK_MONOTONIC timeline.
+    static const std::chrono::steady_clock::time_point epoch =
+        std::chrono::steady_clock::now();
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - epoch)
+            .count());
+}
+
+void
+obsRecordSpan(const char* name, const char* cat, uint64_t start_us,
+              uint64_t dur_us)
+{
+    Lane& lane = laneForThisThread();
+    Registry& r = reg();
+    std::lock_guard<std::mutex> lk(r.mu);
+    appendSpanLocked(lane, SpanRec { name, cat, start_us, dur_us });
+}
+
+} // namespace obsdetail
+
+namespace {
+
+/** Pin the span epoch before main() so every process (and every fork
+ *  child) measures from the same early instant. */
+const uint64_t g_obsEpochPinned = obsdetail::obsNowUs();
+
+/** Retry observer: counts faultio backoff sleeps and reconstructs each
+ *  as a span on the sleeping thread's lane (the sleep already happened,
+ *  so the span is synthesized as [now - ms, now]). */
+void
+faultRetryObserved(const char* point, unsigned ms)
+{
+    static ObsCounter& retries = obsCounter("faultio.retries");
+    static ObsHistogram& backoff = obsHistogram("faultio.backoff_ms");
+    retries.add();
+    backoff.record(ms);
+    uint64_t nowUs = obsdetail::obsNowUs();
+    uint64_t durUs = static_cast<uint64_t>(ms) * 1000;
+    obsEmitSpan("", std::string("fault.backoff:") + point, "faultio",
+                nowUs >= durUs ? nowUs - durUs : 0, durUs);
+}
+
+} // namespace
+
+void
+obsArm()
+{
+    (void)g_obsEpochPinned;
+    obsdetail::obsArmedFlag.store(true, std::memory_order_relaxed);
+    setFaultRetryObserver(&faultRetryObserved);
+}
+
+void
+obsConfigureOutputs(const std::string& trace_out,
+                    const std::string& metrics_out)
+{
+    Registry& r = reg();
+    bool arm = false;
+    {
+        std::lock_guard<std::mutex> lk(r.mu);
+        r.traceOut = trace_out;
+        r.metricsOut = metrics_out;
+        arm = !trace_out.empty() || !metrics_out.empty();
+        if (arm && !r.atexitRegistered) {
+            std::atexit(writeOutputsAtExit);
+            r.atexitRegistered = true;
+        }
+    }
+    if (arm)
+        obsArm();
+}
+
+void
+obsReset()
+{
+    obsdetail::obsArmedFlag.store(false, std::memory_order_relaxed);
+    progressActive.store(false, std::memory_order_relaxed);
+    setFaultRetryObserver(nullptr);
+    Registry& r = reg();
+    std::lock_guard<std::mutex> lk(r.mu);
+    // Counter/gauge/histogram objects must survive (call sites hold
+    // static references), so values reset in place.
+    for (auto& kv : r.counters)
+        kv.second->reset();
+    for (auto& kv : r.gauges)
+        kv.second->reset();
+    for (auto& kv : r.histograms)
+        kv.second->reset();
+    for (auto& l : r.lanes) {
+        l->spans.clear();
+        l->dropped = 0;
+    }
+    r.traceOut.clear();
+    r.metricsOut.clear();
+}
+
+ObsCounter&
+obsCounter(const std::string& name)
+{
+    Registry& r = reg();
+    std::lock_guard<std::mutex> lk(r.mu);
+    auto& slot = r.counters[name];
+    if (!slot)
+        slot = std::make_unique<ObsCounter>();
+    return *slot;
+}
+
+ObsGauge&
+obsGauge(const std::string& name)
+{
+    Registry& r = reg();
+    std::lock_guard<std::mutex> lk(r.mu);
+    auto& slot = r.gauges[name];
+    if (!slot)
+        slot = std::make_unique<ObsGauge>();
+    return *slot;
+}
+
+ObsHistogram&
+obsHistogram(const std::string& name)
+{
+    Registry& r = reg();
+    std::lock_guard<std::mutex> lk(r.mu);
+    auto& slot = r.histograms[name];
+    if (!slot)
+        slot = std::make_unique<ObsHistogram>();
+    return *slot;
+}
+
+void
+obsSetThreadLane(const std::string& lane)
+{
+    Lane& l = laneForThisThread();
+    Registry& r = reg();
+    std::lock_guard<std::mutex> lk(r.mu);
+    l.name = lane;
+}
+
+void
+obsEmitSpan(const std::string& lane, const std::string& name,
+            const std::string& cat, uint64_t start_us, uint64_t dur_us)
+{
+    if (!obsArmed())
+        return;
+    if (lane.empty()) {
+        Lane& l = laneForThisThread();
+        Registry& r = reg();
+        std::lock_guard<std::mutex> lk(r.mu);
+        appendSpanLocked(l, SpanRec { internString(r, name),
+                                      internString(r, cat), start_us,
+                                      dur_us });
+        return;
+    }
+    Registry& r = reg();
+    std::lock_guard<std::mutex> lk(r.mu);
+    Lane& l = namedLaneLocked(r, lane);
+    appendSpanLocked(l, SpanRec { internString(r, name),
+                                  internString(r, cat), start_us, dur_us });
+}
+
+uint64_t
+obsSpansDropped()
+{
+    Registry& r = reg();
+    std::lock_guard<std::mutex> lk(r.mu);
+    uint64_t total = 0;
+    for (const auto& l : r.lanes)
+        total += l->dropped;
+    return total;
+}
+
+uint64_t
+obsSpanCount()
+{
+    Registry& r = reg();
+    std::lock_guard<std::mutex> lk(r.mu);
+    uint64_t total = 0;
+    for (const auto& l : r.lanes)
+        total += l->spans.size();
+    return total;
+}
+
+bool
+obsWriteMetrics(const std::string& path)
+{
+    Registry& r = reg();
+    std::string out;
+    {
+        std::lock_guard<std::mutex> lk(r.mu);
+        out += "{\n  \"counters\": {";
+        bool first = true;
+        for (const auto& [name, c] : r.counters) {
+            out += first ? "\n" : ",\n";
+            out += "    \"" + jsonEscape(name) +
+                   "\": " + std::to_string(c->value());
+            first = false;
+        }
+        out += "\n  },\n  \"gauges\": {";
+        first = true;
+        for (const auto& [name, g] : r.gauges) {
+            out += first ? "\n" : ",\n";
+            out += "    \"" + jsonEscape(name) +
+                   "\": " + std::to_string(g->value());
+            first = false;
+        }
+        out += "\n  },\n  \"histograms\": {";
+        first = true;
+        for (const auto& [name, h] : r.histograms) {
+            out += first ? "\n" : ",\n";
+            out += "    \"" + jsonEscape(name) +
+                   "\": {\"count\": " + std::to_string(h->count()) +
+                   ", \"sum\": " + std::to_string(h->sum()) +
+                   ", \"buckets\": [";
+            for (size_t b = 0; b < ObsHistogram::kBuckets; ++b) {
+                if (b)
+                    out += ", ";
+                out += std::to_string(h->bucket(b));
+            }
+            out += "]}";
+            first = false;
+        }
+        uint64_t buffered = 0, dropped = 0;
+        for (const auto& l : r.lanes) {
+            buffered += l->spans.size();
+            dropped += l->dropped;
+        }
+        out += "\n  },\n  \"spans\": {\"buffered\": " +
+               std::to_string(buffered) +
+               ", \"dropped\": " + std::to_string(dropped) + "}\n}\n";
+    }
+    return writeAtomic(path, out);
+}
+
+bool
+obsWriteTrace(const std::string& path)
+{
+    Registry& r = reg();
+    std::string out;
+    {
+        std::lock_guard<std::mutex> lk(r.mu);
+        uint64_t pid = processId();
+        out += "{\"traceEvents\":[\n";
+        bool first = true;
+        uint64_t tid = 1;
+        for (const auto& l : r.lanes) {
+            std::string pidTid = "\"pid\":" + std::to_string(pid) +
+                                 ",\"tid\":" + std::to_string(tid);
+            out += first ? "" : ",\n";
+            first = false;
+            out += "{\"ph\":\"M\",\"name\":\"thread_name\"," + pidTid +
+                   ",\"args\":{\"name\":\"" + jsonEscape(l->name) + "\"}}";
+            for (const SpanRec& s : l->spans) {
+                out += ",\n{\"ph\":\"X\"," + pidTid +
+                       ",\"ts\":" + std::to_string(s.startUs) +
+                       ",\"dur\":" + std::to_string(s.durUs) +
+                       ",\"name\":\"" + jsonEscape(s.name) +
+                       "\",\"cat\":\"" + jsonEscape(s.cat) + "\"}";
+            }
+            ++tid;
+        }
+        out += "\n]}\n";
+    }
+    return writeAtomic(path, out);
+}
+
+bool
+obsSavePartial(const std::string& path, const std::string& lane_override)
+{
+    Registry& r = reg();
+    std::string out = "obs-partial v1\n";
+    {
+        std::lock_guard<std::mutex> lk(r.mu);
+        for (const auto& [name, c] : r.counters) {
+            if (c->value() != 0)
+                out += "C " + name + " " + std::to_string(c->value()) + "\n";
+        }
+        for (const auto& [name, g] : r.gauges) {
+            if (g->value() != 0)
+                out += "G " + name + " " + std::to_string(g->value()) + "\n";
+        }
+        for (const auto& [name, h] : r.histograms) {
+            if (h->count() == 0)
+                continue;
+            out += "H " + name + " " + std::to_string(h->count()) + " " +
+                   std::to_string(h->sum());
+            for (size_t b = 0; b < ObsHistogram::kBuckets; ++b) {
+                out += ' ';
+                out += std::to_string(h->bucket(b));
+            }
+            out += "\n";
+        }
+        uint64_t dropped = 0;
+        for (const auto& l : r.lanes) {
+            dropped += l->dropped;
+            for (const SpanRec& s : l->spans) {
+                out += "S " +
+                       (lane_override.empty() ? l->name : lane_override) +
+                       " " + std::to_string(s.startUs) + " " +
+                       std::to_string(s.durUs) + " " + std::string(s.cat) +
+                       " " + std::string(s.name) + "\n";
+            }
+        }
+        if (dropped != 0)
+            out += "D " + std::to_string(dropped) + "\n";
+    }
+    return writeAtomic(path, out);
+}
+
+bool
+obsMergePartial(const std::string& path)
+{
+    std::string text;
+    if (!readAll(path, text))
+        return false;
+    if (text.rfind("obs-partial v1\n", 0) != 0)
+        return false;
+
+    // Tokenize each line; malformed lines fail the whole merge (a torn
+    // partial should be noticed, not half-applied).
+    size_t pos = text.find('\n') + 1;
+    while (pos < text.size()) {
+        size_t eol = text.find('\n', pos);
+        if (eol == std::string::npos)
+            eol = text.size();
+        std::string line = text.substr(pos, eol - pos);
+        pos = eol + 1;
+        if (line.empty())
+            continue;
+        std::vector<std::string> f;
+        size_t start = 0;
+        // Spans carry the free-text name last; split only the leading
+        // fields and keep the remainder intact.
+        size_t maxFields = line[0] == 'S' ? 5 : (line[0] == 'H' ? 999 : 3);
+        while (f.size() + 1 < maxFields) {
+            size_t sp = line.find(' ', start);
+            if (sp == std::string::npos)
+                break;
+            f.push_back(line.substr(start, sp - start));
+            start = sp + 1;
+        }
+        f.push_back(line.substr(start));
+
+        if (f[0] == "C" && f.size() == 3) {
+            uint64_t v;
+            if (!parseU64Field(f[2], v))
+                return false;
+            obsCounter(f[1]).merge(v);
+        } else if (f[0] == "G" && f.size() == 3) {
+            uint64_t v;
+            if (!parseU64Field(f[2], v))
+                return false;
+            obsGauge(f[1]).merge(v);
+        } else if (f[0] == "H") {
+            // H name count sum b0..b31 — resplit fully.
+            std::vector<std::string> hf;
+            size_t hs = 0;
+            for (;;) {
+                size_t sp = line.find(' ', hs);
+                if (sp == std::string::npos) {
+                    hf.push_back(line.substr(hs));
+                    break;
+                }
+                hf.push_back(line.substr(hs, sp - hs));
+                hs = sp + 1;
+            }
+            if (hf.size() != 4 + ObsHistogram::kBuckets)
+                return false;
+            uint64_t count, sum, buckets[ObsHistogram::kBuckets];
+            if (!parseU64Field(hf[2], count) || !parseU64Field(hf[3], sum))
+                return false;
+            for (size_t b = 0; b < ObsHistogram::kBuckets; ++b) {
+                if (!parseU64Field(hf[4 + b], buckets[b]))
+                    return false;
+            }
+            obsHistogram(hf[1]).merge(count, sum, buckets);
+        } else if (f[0] == "S" && f.size() == 5) {
+            // S lane start dur cat name...
+            size_t sp3 = f[4].find(' ');
+            if (sp3 == std::string::npos)
+                return false;
+            std::string cat = f[4].substr(0, sp3);
+            std::string name = f[4].substr(sp3 + 1);
+            uint64_t startUs, durUs;
+            if (!parseU64Field(f[2], startUs) ||
+                !parseU64Field(f[3], durUs))
+                return false;
+            obsEmitSpan(f[1], name, cat, startUs, durUs);
+        } else if (f[0] == "D" && f.size() == 2) {
+            uint64_t dropped;
+            if (!parseU64Field(f[1], dropped))
+                return false;
+            Registry& r = reg();
+            std::lock_guard<std::mutex> lk(r.mu);
+            namedLaneLocked(r, "merged").dropped += dropped;
+        } else {
+            return false;
+        }
+    }
+    return true;
+}
+
+// ----------------------------------------------------------- progress
+
+void
+obsProgressBegin(const ObsProgressConfig& cfg)
+{
+    ProgressState& p = progress();
+    std::lock_guard<std::mutex> lk(p.mu);
+    p.label = cfg.label;
+    p.statusPath = cfg.statusPath;
+    p.total = cfg.total;
+    p.intervalSec = cfg.intervalSec;
+    p.doneLocal = 0;
+    p.doneExternal = 0;
+    p.ops = 0;
+    p.beginUs = obsdetail::obsNowUs();
+    p.lastReportUs = p.beginUs;
+    p.lastReportOps = 0;
+    p.lastStatusUs = 0;
+    p.reported = false;
+    bool active = cfg.total > 0 &&
+                  (cfg.intervalSec > 0 || !cfg.statusPath.empty());
+    progressActive.store(active, std::memory_order_relaxed);
+    if (active && !p.statusPath.empty())
+        progressEmitLocked(p, /*final=*/false);
+}
+
+void
+obsProgressCellDone(uint64_t ops)
+{
+    if (!progressActive.load(std::memory_order_relaxed))
+        return;
+    ProgressState& p = progress();
+    std::lock_guard<std::mutex> lk(p.mu);
+    ++p.doneLocal;
+    p.ops += ops;
+    progressEmitLocked(p, /*final=*/false);
+}
+
+void
+obsProgressUpdate(size_t done)
+{
+    if (!progressActive.load(std::memory_order_relaxed))
+        return;
+    ProgressState& p = progress();
+    std::lock_guard<std::mutex> lk(p.mu);
+    p.doneExternal = std::max(p.doneExternal, done);
+    progressEmitLocked(p, /*final=*/false);
+}
+
+void
+obsProgressNoteOps(uint64_t ops)
+{
+    if (!progressActive.load(std::memory_order_relaxed))
+        return;
+    ProgressState& p = progress();
+    std::lock_guard<std::mutex> lk(p.mu);
+    p.ops += ops;
+}
+
+void
+obsProgressEnd()
+{
+    if (!progressActive.load(std::memory_order_relaxed))
+        return;
+    progressActive.store(false, std::memory_order_relaxed);
+    ProgressState& p = progress();
+    std::lock_guard<std::mutex> lk(p.mu);
+    size_t done = std::max(p.doneLocal, p.doneExternal);
+    p.doneExternal = std::max(done, p.total);
+    progressEmitLocked(p, /*final=*/true);
+}
+
+std::string
+obsReadStatus(const std::string& path)
+{
+    std::string text;
+    if (!readAll(path, text))
+        return "";
+    return text;
+}
+
+std::string
+obsFormatStatus(const std::string& json)
+{
+    std::string experiment, state;
+    double done = 0, total = 0, mops = 0, eta = 0, elapsed = 0;
+    if (!jsonStrField(json, "experiment", experiment) ||
+        !jsonStrField(json, "state", state) ||
+        !jsonNumField(json, "cells_done", done) ||
+        !jsonNumField(json, "cells_total", total))
+        return "";
+    jsonNumField(json, "mops", mops);
+    jsonNumField(json, "eta_sec", eta);
+    jsonNumField(json, "elapsed_sec", elapsed);
+    std::string owner;
+    jsonStrField(json, "owner", owner);
+
+    double pct = total > 0 ? 100.0 * done / total : 0.0;
+    char buf[512];
+    if (state == "done") {
+        std::snprintf(buf, sizeof(buf),
+                      "sweep '%s': done — %.0f/%.0f cells, %.2f Mops/s, "
+                      "%.1fs elapsed%s%s",
+                      experiment.c_str(), done, total, mops, elapsed,
+                      owner.empty() ? "" : ", owner ", owner.c_str());
+    } else {
+        std::snprintf(buf, sizeof(buf),
+                      "sweep '%s': %s — %.0f/%.0f cells (%.1f%%), %.2f "
+                      "Mops/s, eta %.0fs, %.1fs elapsed%s%s",
+                      experiment.c_str(), state.c_str(), done, total, pct,
+                      mops, eta, elapsed, owner.empty() ? "" : ", owner ",
+                      owner.c_str());
+    }
+    return buf;
+}
+
+} // namespace constable

@@ -262,6 +262,11 @@ struct CoreState
     uint64_t stallLbFull = 0;
     uint64_t stallSbFull = 0;
     uint64_t renameZeroCycles = 0;
+    /** Cycles skipped wholesale by tryFastForward(). Observability-only:
+     *  flushed to the obs registry at the end of run(), never exported
+     *  into a RunResult or StatSet (the stall counters above already
+     *  account these cycles for the simulated stats). */
+    uint64_t idleFastForwardedCycles = 0;
     std::unordered_map<PC, uint64_t> vpWrongByPc;
     bool goldenFailed = false;
     std::string goldenMsg;

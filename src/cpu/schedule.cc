@@ -7,6 +7,7 @@
 #include "cpu/core.hh"
 
 #include "common/logging.hh"
+#include "common/obs.hh"
 
 namespace constable {
 
@@ -204,6 +205,7 @@ OooCore::tryFastForward()
     }
 
     uint64_t k = target - 1 - now;
+    idleFastForwardedCycles += k;
     stallFrontend += dFrontend * k;
     stallPendingBranch += dPendingBranch * k;
     stallRobFull += dRobFull * k;
@@ -273,6 +275,12 @@ OooCore::run()
     r.goldenCheckFailed = goldenFailed;
     r.goldenCheckMessage = goldenMsg;
     exportFinalStats(r);
+    // Obs-only: idle fast-forward totals go to the observability registry,
+    // deliberately not into RunResult (which golden fingerprints cover).
+    {
+        static ObsCounter& ffCycles = obsCounter("sim.idle_ff_cycles");
+        ffCycles.add(idleFastForwardedCycles);
+    }
     return r;
 }
 

@@ -11,6 +11,7 @@
 
 #include "common/faultio.hh"
 #include "common/logging.hh"
+#include "common/obs.hh"
 #include "common/rng.hh"
 #include "power/power.hh"
 #include "trace/serialize.hh"
@@ -171,10 +172,13 @@ verifyCalibCache(const std::string& dir, const Scenario& sc,
     std::string file = "fleet-" + sanitizeFileName(sc.name) + ".calib";
     std::string path = dir + "/" + file;
     std::vector<uint8_t> bytes;
+    static ObsCounter& cacheHits = obsCounter("fleet.calib.cache_hit");
+    static ObsCounter& cacheMisses = obsCounter("fleet.calib.cache_miss");
     if (!faultFailed("fleet.calib.read") && readFileBytes(path, bytes)) {
         uint64_t cachedFp = 0;
         std::vector<MachineCalibration> cached;
         if (decodeCalibCache(bytes, cachedFp, cached) && cachedFp == fp) {
+            cacheHits.add();
             inform("fleet calibration for '" + sc.name +
                    "' matches its cached copy (fingerprint verified)");
             return;
@@ -185,6 +189,7 @@ verifyCalibCache(const std::string& dir, const Scenario& sc,
         warn("cached fleet calibration '" + path +
              "' is stale or corrupt; quarantined and rewritten");
     }
+    cacheMisses.add();
     if (faultFailed("fleet.calib.write") ||
         !writeFileAtomic(path, encodeCalibCache(fp, calib))) {
         warn("cannot persist fleet calibration cache '" + path +
@@ -252,6 +257,7 @@ simulateFleet(const Scenario& sc,
         fatal("simulateFleet needs a fleet scenario (machine+task classes)");
     if (calib.size() != sc.machines.size())
         fatal("simulateFleet needs one calibration per machine class");
+    const uint64_t dispatchStartUs = obsArmed() ? obsTimestampUs() : 0;
 
     // ---- open-loop arrival generation, one seeded stream per task class.
     std::vector<Arrival> arrivals;
@@ -396,6 +402,18 @@ simulateFleet(const Scenario& sc,
                   static_cast<double>(lats.size()));
         sr.latency = BoxWhisker::from(lats);
     }
+
+    // One synthetic trace lane per machine class: a single span covering
+    // this dispatch pass, named so the Perfetto track reads
+    // "fleet:<class>" with the scenario and request count on the slice.
+    if (obsArmed()) {
+        const uint64_t durUs =
+            std::max<uint64_t>(1, obsTimestampUs() - dispatchStartUs);
+        for (const MachineReport& mr : rep.machines) {
+            obsEmitSpan("fleet:" + mr.name, "dispatch:" + sc.name, "fleet",
+                        dispatchStartUs, durUs);
+        }
+    }
     return rep;
 }
 
@@ -483,25 +501,32 @@ runFleetScenario(const Scenario& sc, ExperimentOptions opts)
     // Calibration sweep over every distinct machine-class preset, through
     // the full Experiment machinery: trace cache, checkpoint/resume, and
     // sharding all apply, and the result is bit-identical regardless.
-    Suite suite = Suite::prepare(opts, /*inspect=*/true);
-    Experiment exp("fleet-" + sc.name, suite, opts);
-    std::vector<std::string> added;
-    for (const FleetMachineClass& m : sc.machines) {
-        if (std::find(added.begin(), added.end(), m.mech) == added.end()) {
-            exp.addPreset(m.mech);
-            added.push_back(m.mech);
+    std::vector<MachineCalibration> calib;
+    uint64_t calibFp = 0;
+    size_t resumed = 0;
+    {
+        ObsSpan calibSpan("fleet.calibrate", "fleet");
+        Suite suite = Suite::prepare(opts, /*inspect=*/true);
+        Experiment exp("fleet-" + sc.name, suite, opts);
+        std::vector<std::string> added;
+        for (const FleetMachineClass& m : sc.machines) {
+            if (std::find(added.begin(), added.end(), m.mech) ==
+                added.end()) {
+                exp.addPreset(m.mech);
+                added.push_back(m.mech);
+            }
         }
+        ExperimentResult res = exp.run();
+        calib = calibrateMachines(sc, res);
+        calibFp = resultFingerprint(res.matrix());
+        resumed = res.resumedCells();
     }
-    ExperimentResult res = exp.run();
-
-    std::vector<MachineCalibration> calib = calibrateMachines(sc, res);
-    uint64_t calibFp = resultFingerprint(res.matrix());
     if (!opts.checkpointDir.empty())
         verifyCalibCache(opts.checkpointDir, sc, calib, calibFp);
 
     FleetReport rep = simulateFleet(sc, calib);
     rep.calibFingerprint = calibFp;
-    rep.resumedCells = res.resumedCells();
+    rep.resumedCells = resumed;
     return rep;
 }
 

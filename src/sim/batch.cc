@@ -4,6 +4,7 @@
 
 #include "common/env.hh"
 #include "common/logging.hh"
+#include "common/obs.hh"
 
 namespace constable {
 
@@ -89,6 +90,10 @@ ThreadPool::drain(unsigned id, const std::function<void(size_t)>& fn)
 void
 ThreadPool::workerLoop(unsigned id)
 {
+    // Name this thread's span lane after its pool slot, so Perfetto shows
+    // one row per worker (worker 0 is the calling thread -- its spans land
+    // on that thread's existing lane).
+    obsSetThreadLane("pool-" + std::to_string(id));
     uint64_t seenBatch = 0;
     for (;;) {
         const std::function<void(size_t)>* fn = nullptr;

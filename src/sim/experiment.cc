@@ -10,6 +10,7 @@
 #include "common/env.hh"
 #include "common/faultio.hh"
 #include "common/logging.hh"
+#include "common/obs.hh"
 #include "common/stats.hh"
 #include "trace/serialize.hh"
 
@@ -114,6 +115,12 @@ printUsage(const char* prog, int exit_code)
         "  --fault-plan=SPEC   arm deterministic I/O fault injection "
         "(see\n                      README \"Fault injection & "
         "recovery\")\n"
+        "  --trace-out=FILE    write a Chrome/Perfetto trace-event JSON "
+        "at exit\n"
+        "  --metrics-out=FILE  write an obs metrics snapshot JSON at "
+        "exit\n"
+        "  --progress-sec=N    seconds between one-line progress reports "
+        "(0 = off)\n"
         "  --help              this text\n"
         "Mechanism presets: %s\n"
         "Environment: CONSTABLE_THREADS, CONSTABLE_SEED, "
@@ -123,7 +130,9 @@ printUsage(const char* prog, int exit_code)
         "CONSTABLE_SHARD_ID, CONSTABLE_LEASE_TTL_SEC,\n"
         "CONSTABLE_SHARD_POLL_MS, CONSTABLE_COST_MODEL, CONSTABLE_MECH,\n"
         "CONSTABLE_SCENARIO, CONSTABLE_FAULT_PLAN, "
-        "CONSTABLE_FAULT_MARKER_DIR,\nCONSTABLE_FAULT_SEED "
+        "CONSTABLE_FAULT_MARKER_DIR,\nCONSTABLE_FAULT_SEED, "
+        "CONSTABLE_TRACE_OUT, CONSTABLE_METRICS_OUT,\n"
+        "CONSTABLE_PROGRESS_SEC, CONSTABLE_LOG_LEVEL "
         "(strict-parsed; CLI flags override env).\n",
         prog, MechanismRegistry::instance().nameList().c_str());
     std::exit(exit_code);
@@ -173,6 +182,13 @@ ExperimentOptions::fromEnv()
         appendMechNames("CONSTABLE_MECH", *v, opts.mechNames);
     if (auto v = envStr("CONSTABLE_SCENARIO"))
         opts.scenarioFile = *v;
+    if (auto v = envStr("CONSTABLE_TRACE_OUT"))
+        opts.traceOutPath = *v;
+    if (auto v = envStr("CONSTABLE_METRICS_OUT"))
+        opts.metricsOutPath = *v;
+    if (auto v = envU64InRange("CONSTABLE_PROGRESS_SEC", 0, 86400))
+        opts.progressSec = static_cast<unsigned>(*v);
+    obsConfigureOutputs(opts.traceOutPath, opts.metricsOutPath);
     // Malformed CONSTABLE_FAULT_PLAN should die here, at startup, not at
     // the first I/O call deep inside a sweep.
     faultLoadEnvPlan();
@@ -266,11 +282,19 @@ ExperimentOptions::fromArgs(int argc, char** argv)
             installFaultPlan(val(),
                              envStr("CONSTABLE_FAULT_MARKER_DIR")
                                  .value_or(std::string()));
+        } else if (flag == "--trace-out") {
+            opts.traceOutPath = val();
+        } else if (flag == "--metrics-out") {
+            opts.metricsOutPath = val();
+        } else if (flag == "--progress-sec") {
+            opts.progressSec = static_cast<unsigned>(
+                parseU64InRange(flag, val(), 0, 86400));
         } else {
-            std::fprintf(stderr, "unknown argument '%s'\n", arg.c_str());
+            warn("unknown argument '" + arg + "'");
             printUsage(prog, 1);
         }
     }
+    obsConfigureOutputs(opts.traceOutPath, opts.metricsOutPath);
     return opts;
 }
 
@@ -325,12 +349,14 @@ Suite::fromSpecs(std::vector<WorkloadSpec> specs,
     const std::string& dir = opts.traceDir;
     if (!dir.empty())
         makeDirs(dir, "trace cache");
+    ObsSpan prepSpan("suite.prepare", "trace");
     // Graceful degradation: any trace-cache fault (corrupt entry, failed
     // read, failed rewrite) downgrades to regeneration, never aborts.
     // Each job owns its own slot; totals are summed after the barrier.
     std::vector<uint8_t> corruptEntry(specs.size(), 0);
     std::vector<uint8_t> rewriteFailed(specs.size(), 0);
     forEachJob(specs.size(), [&](size_t i, Rng&) {
+        ObsSpan span("trace.prep", "trace");
         Entry& e = s.entries_[i];
         e.spec = std::move(specs[i]);
         if (!dir.empty()) {
@@ -368,6 +394,12 @@ Suite::fromSpecs(std::vector<WorkloadSpec> specs,
     }, opts.batch());
     for (const Entry& e : s.entries_)
         (e.fromCache ? s.cacheHits_ : s.cacheMisses_)++;
+    {
+        static ObsCounter& hits = obsCounter("trace.cache.hit");
+        static ObsCounter& misses = obsCounter("trace.cache.miss");
+        hits.add(s.cacheHits_);
+        misses.add(s.cacheMisses_);
+    }
     size_t corrupt = 0, failedWrites = 0;
     for (size_t i = 0; i < specs.size(); ++i) {
         corrupt += corruptEntry[i];
@@ -711,10 +743,28 @@ Experiment::runCells(size_t rows, bool smt)
         makeDirs(ckptDir, "checkpoint");
     }
 
+    // Live progress: stderr one-liners plus a status.json next to the
+    // cell checkpoints (constable-sweep --status pretty-prints it from
+    // another process). Passive state only, so forked shard workers
+    // inherit it and keep reporting.
+    ObsProgressConfig pcfg;
+    pcfg.label = name_;
+    pcfg.total = m.results.size();
+    pcfg.statusPath = ckptDir.empty() ? "" : ckptDir + "/status.json";
+    pcfg.intervalSec = opts_.progressSec;
+    obsProgressBegin(pcfg);
+
     if (shardOpts.active()) {
         ShardOutcome oc =
             runShardedCells(ckptDir, manifest, computeCell, m.results,
                             shardOpts);
+        // The workers did the computing; credit the merged matrix's ops
+        // so the coordinator's closing report carries a real Mops/s.
+        uint64_t mergedOps = 0;
+        for (const RunResult& r : m.results)
+            mergedOps += r.instructions;
+        obsProgressNoteOps(mergedOps);
+        obsProgressEnd();
         // The final merge loads every cell, so oc.loaded always spans the
         // matrix; only cells that predated this run count as resumed.
         resumed = oc.preExisting;
@@ -750,18 +800,26 @@ Experiment::runCells(size_t rows, bool smt)
                  "empty); regenerating them");
         }
     }
+    obsProgressUpdate(resumed);
 
     forEachJob(m.results.size(), [&](size_t job, Rng&) {
         if (done[job])
             return;
-        m.results[job] = computeCell(job);
-        if (!ckptDir.empty() &&
-            !saveRunResult(cellFilePath(ckptDir, manifest, job),
-                           m.results[job])) {
-            warn("cannot write checkpoint cell " + std::to_string(job) +
-                 "; the sweep continues but will not resume past it");
+        {
+            ObsSpan span("cell.compute", "cell");
+            m.results[job] = computeCell(job);
         }
+        if (!ckptDir.empty()) {
+            ObsSpan span("cell.checkpoint", "cell");
+            if (!saveRunResult(cellFilePath(ckptDir, manifest, job),
+                               m.results[job])) {
+                warn("cannot write checkpoint cell " + std::to_string(job) +
+                     "; the sweep continues but will not resume past it");
+            }
+        }
+        obsProgressCellDone(m.results[job].instructions);
     }, opts_.batch());
+    obsProgressEnd();
 
     return ExperimentResult(*suite_, names_, std::move(m), resumed);
 }

@@ -81,6 +81,16 @@ struct ExperimentOptions
     std::vector<std::string> mechNames;
     /** Scenario file from --scenario / CONSTABLE_SCENARIO (ditto). */
     std::string scenarioFile;
+    /** Chrome trace-event JSON written at exit (--trace-out /
+     *  CONSTABLE_TRACE_OUT); non-empty arms the obs registry. */
+    std::string traceOutPath;
+    /** Metrics snapshot JSON written at exit (--metrics-out /
+     *  CONSTABLE_METRICS_OUT); non-empty arms the obs registry. */
+    std::string metricsOutPath;
+    /** Min seconds between one-line stderr progress reports during a
+     *  sweep; 0 disables them (status.json still updates when a
+     *  checkpoint directory exists). */
+    unsigned progressSec = 10;
 
     /** All knobs from CONSTABLE_* env vars (strict: malformed -> fatal).
      *  New: CONSTABLE_MECH, CONSTABLE_SCENARIO, CONSTABLE_COST_MODEL. */

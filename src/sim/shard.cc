@@ -7,7 +7,6 @@
 #include <cstdlib>
 #include <filesystem>
 #include <mutex>
-#include <set>
 #include <system_error>
 #include <thread>
 #include <unordered_map>
@@ -15,6 +14,7 @@
 #include "common/check.hh"
 #include "common/faultio.hh"
 #include "common/logging.hh"
+#include "common/obs.hh"
 
 // fork()-based coordinator mode is POSIX-only; other platforms fall back
 // to computing the whole matrix in-process (still through the lease
@@ -116,6 +116,8 @@ class LeaseHeartbeat
             std::error_code ec;
             fs::last_write_time(path_, fs::file_time_type::clock::now(),
                                 ec);
+            static ObsCounter& beats = obsCounter("lease.heartbeats");
+            beats.add();
         }
     }
 
@@ -145,14 +147,10 @@ guardedLeaseAge(const std::string& path, double ttl, ShardOutcome& outcome)
     ++outcome.skewClamped;
     if (-age > ttl / 2) {
         // Once per lease path: the claim loop polls this every pollMs.
-        static std::mutex warnedMu;
-        static std::set<std::string> warned;
-        std::lock_guard<std::mutex> lk(warnedMu);
-        if (warned.insert(path).second) {
-            warn("lease '" + path + "' mtime is " + std::to_string(-age) +
-                 "s in the future (clock skew beyond TTL/2); treating as "
-                 "fresh");
-        }
+        warnOnce("lease-skew:" + path,
+                 "lease '" + path + "' mtime is " + std::to_string(-age) +
+                     "s in the future (clock skew beyond TTL/2); treating "
+                     "as fresh");
     }
     return 0.0;
 }
@@ -279,41 +277,48 @@ workerPass(WorkerCtx& ctx)
 
     std::vector<size_t> claimed;
     LeaseRecord lease = makeLease(ctx.opts.shardId);
-    for (size_t i = 0; i < n && claimed.size() < maxClaims; ++i) {
-        size_t c = ctx.claimOrder[i];
-        if (ctx.done[c])
-            continue;
-        if (fileExists(cellFilePath(ctx.dir, ctx.m, c))) {
-            ctx.done[c] = 1;
-            continue;
-        }
-        std::string lp = cellLeasePath(ctx.dir, ctx.m, c);
-        if (tryAcquireLease(lp, lease)) {
-            // A successful O_CREAT|O_EXCL claim implies nobody committed
-            // the cell between our existence probe and now... except a
-            // racer who claimed, computed, committed, AND released in that
-            // window; committed cells are never recomputed, so re-probe.
-            CONSTABLE_ASSERT(!ctx.done[c],
-                             "claimed a cell already marked done in this "
-                             "process: claim loop state diverged");
+    {
+        ObsSpan claimSpan("cell.claim", "cell");
+        for (size_t i = 0; i < n && claimed.size() < maxClaims; ++i) {
+            size_t c = ctx.claimOrder[i];
+            if (ctx.done[c])
+                continue;
             if (fileExists(cellFilePath(ctx.dir, ctx.m, c))) {
-                removeLease(lp);
                 ctx.done[c] = 1;
                 continue;
             }
-            claimed.push_back(c);
-            continue;
-        }
-        // Held by someone else: reclaim only if stale (its holder died or
-        // lost the filesystem). The remove/re-acquire pair can race with
-        // another reclaimer; determinism + atomic commits make a double
-        // execution benign, so no stronger protocol is needed.
-        double age = guardedLeaseAge(lp, ttl, ctx.outcome);
-        if (age >= ttl) {
-            removeLease(lp);
+            std::string lp = cellLeasePath(ctx.dir, ctx.m, c);
             if (tryAcquireLease(lp, lease)) {
-                ++ctx.outcome.reclaimed;
+                // A successful O_CREAT|O_EXCL claim implies nobody
+                // committed the cell between our existence probe and
+                // now... except a racer who claimed, computed, committed,
+                // AND released in that window; committed cells are never
+                // recomputed, so re-probe.
+                CONSTABLE_ASSERT(!ctx.done[c],
+                                 "claimed a cell already marked done in "
+                                 "this process: claim loop state diverged");
+                if (fileExists(cellFilePath(ctx.dir, ctx.m, c))) {
+                    removeLease(lp);
+                    ctx.done[c] = 1;
+                    continue;
+                }
                 claimed.push_back(c);
+                continue;
+            }
+            // Held by someone else: reclaim only if stale (its holder died
+            // or lost the filesystem). The remove/re-acquire pair can race
+            // with another reclaimer; determinism + atomic commits make a
+            // double execution benign, so no stronger protocol is needed.
+            double age = guardedLeaseAge(lp, ttl, ctx.outcome);
+            if (age >= ttl) {
+                removeLease(lp);
+                if (tryAcquireLease(lp, lease)) {
+                    ++ctx.outcome.reclaimed;
+                    static ObsCounter& reclaims =
+                        obsCounter("lease.reclaimed");
+                    reclaims.add();
+                    claimed.push_back(c);
+                }
             }
         }
     }
@@ -335,11 +340,16 @@ workerPass(WorkerCtx& ctx)
             std::error_code ec;
             fs::last_write_time(lp, fs::file_time_type::clock::now(), ec);
         }
+        uint64_t cellOps = 0;
         {
             // Keep the lease fresh for as long as the cell computes (and
             // commits): the TTL can now be shorter than a cell.
             LeaseHeartbeat heartbeat(lp, ctx.opts.leaseTtlSec);
-            RunResult r = ctx.compute(c);
+            RunResult r = [&] {
+                ObsSpan span("cell.compute", "cell");
+                return ctx.compute(c);
+            }();
+            cellOps = r.instructions;
             // Commit-time ownership check: if the heartbeat stalled past
             // the TTL, a reclaimer owns this cell now — committing over
             // its lease would double-commit, so abandon instead. The
@@ -353,9 +363,12 @@ workerPass(WorkerCtx& ctx)
                 warn("lease for cell " + std::to_string(c) +
                      " was lost during compute (heartbeat stalled past "
                      "TTL?); abandoning the cell to its new owner");
+                static ObsCounter& lost = obsCounter("shard.abandoned");
+                lost.add();
                 abandoned[i] = 1;
                 return;
             }
+            ObsSpan span("cell.commit", "cell");
             if (!retryWithBackoff("ckpt.cell.commit", [&] {
                     return saveRunResult(cellFilePath(ctx.dir, ctx.m, c), r,
                                          /*durable=*/true);
@@ -373,6 +386,7 @@ workerPass(WorkerCtx& ctx)
         removeLease(lp);
         ctx.done[c] = 1;
         committed[i] = 1;
+        obsProgressCellDone(cellOps);
     }, ctx.opts.batch);
     size_t ran = 0;
     for (size_t i = 0; i < claimed.size(); ++i) {
@@ -391,12 +405,15 @@ workerLoop(WorkerCtx& ctx)
     const size_t n = ctx.m.numCells();
     for (;;) {
         size_t ran = workerPass(ctx);
-        bool all = true;
-        for (size_t c = 0; c < n && all; ++c) {
-            if (!ctx.done[c] && !fileExists(cellFilePath(ctx.dir, ctx.m, c)))
-                all = false;
+        size_t doneCells = 0;
+        for (size_t c = 0; c < n; ++c) {
+            if (ctx.done[c] || fileExists(cellFilePath(ctx.dir, ctx.m, c)))
+                ++doneCells;
         }
-        if (all)
+        // Fleet-wide progress: count *everyone's* committed cells, not
+        // just this worker's, so the status line tracks the sweep.
+        obsProgressUpdate(doneCells);
+        if (doneCells == n)
             return;
         if (ran == 0)
             sleepMs(ctx.opts.pollMs);
@@ -430,6 +447,14 @@ forkWorkers(const std::string& dir, const SweepManifest& m,
             ctx.done.assign(m.numCells(), 0);
             ctx.claimOrder = buildClaimOrder(m, w);
             workerLoop(ctx);
+            // _exit() skips the atexit trace/metrics writers on purpose
+            // (they belong to the coordinator); hand the child's obs state
+            // back through a partial file instead, lane-tagged by shard.
+            if (obsArmed()) {
+                obsSavePartial(dir + "/obs-shard-" + std::to_string(k) +
+                                   ".partial",
+                               "shard-" + std::to_string(k));
+            }
             std::fflush(nullptr);
             ::_exit(0);
         }
@@ -443,6 +468,18 @@ forkWorkers(const std::string& dir, const SweepManifest& m,
             ++outcome.workersFailed;
             warn("shard worker pid " + std::to_string(pid) +
                  " exited abnormally; its cells will be recovered");
+        }
+    }
+    if (obsArmed()) {
+        for (unsigned k = 0; k < opts.shards; ++k) {
+            std::string p =
+                dir + "/obs-shard-" + std::to_string(k) + ".partial";
+            if (!fileExists(p))
+                continue; // worker died before saving: cells recover, obs
+                          // from that shard is simply absent
+            obsMergePartial(p);
+            std::error_code ec;
+            fs::remove(p, ec);
         }
     }
 }
@@ -514,6 +551,8 @@ mergeShardedCells(const std::string& dir, const SweepManifest& m,
         std::string path = cellFilePath(dir, m, c);
         if (fileExists(path)) {
             ++outcome.corruptCells;
+            static ObsCounter& corrupt = obsCounter("shard.corrupt_cells");
+            corrupt.add();
             warn("cell checkpoint '" + path +
                  "' is present but corrupt; regenerating");
         }
@@ -540,6 +579,9 @@ mergeShardedCells(const std::string& dir, const SweepManifest& m,
                                "-" + std::to_string(c % m.numConfigs) + ".rr",
                            qec);
                 ++outcome.quarantined;
+                static ObsCounter& quarantined =
+                    obsCounter("shard.quarantined");
+                quarantined.add();
                 warn("cell checkpoint '" + path + "' failed verification " +
                      std::to_string(opts.quarantineAfter) +
                      " times; quarantined into '" + qdir + "'");

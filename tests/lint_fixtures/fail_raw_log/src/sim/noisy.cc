@@ -1,0 +1,15 @@
+// Fixture: direct fprintf(stderr, ...) in src/sim must be flagged by
+// raw-log (diagnostics route through warn()/inform() in common/logging.hh
+// so CONSTABLE_LOG_LEVEL can gate them).
+#include <cstdio>
+#include <string>
+
+namespace constable {
+
+void
+complainDirectly(const std::string& what)
+{
+    std::fprintf(stderr, "something went wrong: %s\n", what.c_str());
+}
+
+} // namespace constable

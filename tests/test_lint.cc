@@ -96,6 +96,11 @@ TEST(Lint, RawIoFires)
     expectRuleFires("fail_raw_io", "raw-io");
 }
 
+TEST(Lint, RawLogFires)
+{
+    expectRuleFires("fail_raw_log", "raw-log");
+}
+
 TEST(Lint, DiagnosticFormat)
 {
     // file:line: rule: message — machine-parseable, clickable in editors.

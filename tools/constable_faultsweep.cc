@@ -33,6 +33,7 @@
 
 #include "common/faultio.hh"
 #include "common/logging.hh"
+#include "common/obs.hh"
 #include "serve/fleet.hh"
 #include "sim/experiment.hh"
 #include "sim/scenario.hh"
@@ -65,6 +66,13 @@ childOptions()
     opts.traceOps = kTraceOps;
     opts.suiteLimit = 3;
     opts.costModelPath.clear();
+    // Ambient CONSTABLE_TRACE_OUT/METRICS_OUT must not leak into the
+    // crash-and-relaunch children: dozens of processes would race their
+    // atexit writers on the same two files. Fingerprint comparison is the
+    // observable here, not traces.
+    opts.traceOutPath.clear();
+    opts.metricsOutPath.clear();
+    obsReset();
     opts.leaseTtlSec = 2;
     opts.shardPollMs = 50;
     return opts;

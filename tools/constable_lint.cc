@@ -31,6 +31,11 @@
  *                  and an include may only reach its own layer or below
  *                  (so cpu/ can never include sim/ or serve/). New src/
  *                  directories must be added to the table here.
+ *                  common/obs.{hh,cc} form their own "obs" node at the isa
+ *                  layer despite living in src/common: obs may include
+ *                  common, but common must never include obs (faultio
+ *                  reaches observability through an inverted observer
+ *                  hook, not an include).
  *   env-doc        every "CONSTABLE_*" env-var string literal in src/ and
  *                  tools/ must appear in README.md, so the option table
  *                  can never silently lag the code.
@@ -42,6 +47,11 @@
  *                  recovery path. std::filesystem:: spellings (fs::rename
  *                  etc.) are exempt; justified raw sites carry
  *                  `// lint:rawio <why>`.
+ *   raw-log        direct fprintf(stderr, ...) is banned in src/sim,
+ *                  src/trace and src/serve: diagnostics must route through
+ *                  warn()/inform()/warnOnce() (common/logging.hh) so
+ *                  CONSTABLE_LOG_LEVEL can gate them and dedup applies.
+ *                  Justified sites carry `// lint:rawlog <why>`.
  */
 
 #include <algorithm>
@@ -235,7 +245,7 @@ layerTable()
 {
     static const std::map<std::string, int> layers = {
         { "common", 0 },
-        { "isa", 1 },
+        { "isa", 1 }, { "obs", 1 },
         { "core", 2 },      { "mem", 2 },   { "power", 2 },
         { "predictor", 2 }, { "trace", 2 }, { "vp", 2 },
         { "inspector", 3 }, { "workloads", 3 },
@@ -246,12 +256,32 @@ layerTable()
     return layers;
 }
 
+/** True when the diagnostic path ends with @p suffix. */
+bool
+pathEndsWith(const std::string& path, const char* suffix)
+{
+    size_t n = std::strlen(suffix);
+    return path.size() >= n &&
+           path.compare(path.size() - n, n, suffix) == 0;
+}
+
+/** The observability pair is its own DAG node, one layer above the rest
+ *  of common (see the file comment). */
+bool
+isObsFile(const std::string& path)
+{
+    return pathEndsWith(path, "common/obs.hh") ||
+           pathEndsWith(path, "common/obs.cc");
+}
+
 void
 checkLayering(const SourceFile& sf, std::vector<Violation>& out)
 {
     if (sf.relDir.rfind("src/", 0) != 0)
         return; // layering governs the library only
     std::string ownDir = sf.relDir.substr(4);
+    if (isObsFile(sf.path))
+        ownDir = "obs";
     auto own = layerTable().find(ownDir);
     if (own == layerTable().end()) {
         out.push_back({ sf.path, 1, "layering",
@@ -279,6 +309,8 @@ checkLayering(const SourceFile& sf, std::vector<Violation>& out)
         if (slash == std::string::npos)
             continue; // same-directory include
         std::string incDir = inc.substr(0, slash);
+        if (inc == "common/obs.hh")
+            incDir = "obs";
         auto tgt = layerTable().find(incDir);
         if (tgt == layerTable().end()) {
             out.push_back({ sf.path, l + 1, "layering",
@@ -423,6 +455,38 @@ checkRawIo(const SourceFile& sf, std::vector<Violation>& out)
                             "(justify exceptions with "
                             "// lint:rawio <why>)" });
         }
+    }
+}
+
+// --------------------------------------------------------- rule: raw-log
+
+void
+checkRawLog(const SourceFile& sf, std::vector<Violation>& out)
+{
+    bool inScope = sf.relDir == "src/sim" || sf.relDir == "src/trace" ||
+                   sf.relDir == "src/serve";
+    if (!inScope)
+        return;
+    for (size_t l = 0; l < sf.code.size(); ++l) {
+        const std::string& cl = sf.code[l];
+        bool hasFprintf = false, hasStderr = false;
+        for (const auto& [col, id] : identifiers(cl)) {
+            (void)col;
+            if (id == "fprintf")
+                hasFprintf = true;
+            else if (id == "stderr")
+                hasStderr = true;
+        }
+        if (!hasFprintf || !hasStderr)
+            continue;
+        if (hasEscape(sf, l + 1, "lint:rawlog"))
+            continue;
+        out.push_back({ sf.path, l + 1, "raw-log",
+                        "direct fprintf(stderr, ...) is banned in "
+                        "sim/trace/serve: route diagnostics through "
+                        "warn()/inform()/warnOnce() (common/logging.hh) so "
+                        "CONSTABLE_LOG_LEVEL gates them (justify "
+                        "exceptions with // lint:rawlog <why>)" });
     }
 }
 
@@ -613,6 +677,7 @@ runLint(const std::string& rootArg)
         checkLayering(sf, violations);
         checkBannedIdentifiers(sf, violations);
         checkRawIo(sf, violations);
+        checkRawLog(sf, violations);
         checkUnorderedIteration(sf, unorderedNames, violations);
         if (sf.relDir.rfind("src/", 0) == 0 || sf.relDir == "tools")
             collectEnvStrings(sf, envPending, envNeeded);
@@ -669,8 +734,9 @@ main(int argc, char** argv)
                 "usage: constable-lint [--root=DIR]\n"
                 "Checks DIR/src, DIR/tools, DIR/bench against the repo's\n"
                 "determinism/layering rules (raw-parse, determinism,\n"
-                "unordered-iter, layering, env-doc). Nonzero exit on any\n"
-                "violation; diagnostics as file:line: rule: message.\n");
+                "unordered-iter, layering, env-doc, raw-io, raw-log).\n"
+                "Nonzero exit on any violation; diagnostics as\n"
+                "file:line: rule: message.\n");
             return 0;
         } else {
             std::fprintf(stderr, "constable-lint: unknown argument '%s'\n",

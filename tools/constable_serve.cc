@@ -37,7 +37,10 @@ serveMain(int argc, char** argv)
                 "                    examples/scenarios/fleet/)\n"
                 "plus the generic experiment options below (threads,\n"
                 "trace cache, checkpoints, shards all shape the preset\n"
-                "calibration sweep).\n\n");
+                "calibration sweep). --trace-out adds a 'fleet.calibrate'\n"
+                "span and one lane per machine class to the Perfetto\n"
+                "trace; --metrics-out includes the fleet.calib.cache_*\n"
+                "counters.\n\n");
         }
     }
 

@@ -17,13 +17,22 @@
  *
  * Assemble a finished fleet's matrix without simulating anything:
  *   constable-sweep --merge-only --checkpoint-dir=/shared/sweep
+ *
+ * Watch a running sweep from another terminal (reads the status.json the
+ * sweep atomically rewrites next to its cell checkpoints):
+ *   constable-sweep --status --checkpoint-dir=/shared/sweep
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <string>
+#include <system_error>
 #include <vector>
 
+#include "common/logging.hh"
+#include "common/obs.hh"
 #include "sim/experiment.hh"
 #include "sim/scenario.hh"
 
@@ -41,15 +50,60 @@ presetExperiment(const Suite& suite, const ExperimentOptions& opts)
     return exp;
 }
 
+/** The --status verb: find every status.json under the checkpoint root
+ *  (the root itself plus one level of sweep subdirectories) and render
+ *  them. Exit 0 when at least one was found and parsable. */
+int
+statusMain(const ExperimentOptions& opts)
+{
+    namespace fs = std::filesystem;
+    if (opts.checkpointDir.empty())
+        fatal("--status needs --checkpoint-dir to know which sweep to read");
+
+    std::vector<std::string> candidates;
+    candidates.push_back(opts.checkpointDir + "/status.json");
+    std::vector<std::string> subs;
+    std::error_code ec;
+    for (const auto& entry : fs::directory_iterator(opts.checkpointDir, ec)) {
+        if (ec)
+            break;
+        std::error_code dec;
+        if (entry.is_directory(dec) && !dec)
+            subs.push_back(entry.path().string());
+    }
+    std::sort(subs.begin(), subs.end());
+    for (const std::string& s : subs)
+        candidates.push_back(s + "/status.json");
+
+    size_t printed = 0;
+    for (const std::string& path : candidates) {
+        std::string line = obsFormatStatus(obsReadStatus(path));
+        if (line.empty())
+            continue;
+        std::printf("%s\n", line.c_str());
+        ++printed;
+    }
+    if (printed == 0) {
+        std::printf("no readable status.json under '%s' (is a sweep "
+                    "running there with a checkpoint dir?)\n",
+                    opts.checkpointDir.c_str());
+        return 1;
+    }
+    return 0;
+}
+
 int
 sweepMain(int argc, char** argv)
 {
     bool mergeOnly = false;
+    bool statusOnly = false;
     std::vector<char*> rest;
     rest.push_back(argc > 0 ? argv[0] : const_cast<char*>("constable-sweep"));
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--merge-only") == 0) {
             mergeOnly = true;
+        } else if (std::strcmp(argv[i], "--status") == 0) {
+            statusOnly = true;
         } else {
             if (std::strcmp(argv[i], "--help") == 0 ||
                 std::strcmp(argv[i], "-h") == 0) {
@@ -57,7 +111,11 @@ sweepMain(int argc, char** argv)
                     "constable-sweep extra options:\n"
                     "  --merge-only   assemble the matrix from an existing\n"
                     "                 checkpoint dir; simulate nothing and\n"
-                    "                 fail if any cell is missing\n");
+                    "                 fail if any cell is missing\n"
+                    "  --status       pretty-print the live status.json of\n"
+                    "                 the sweep(s) under --checkpoint-dir\n"
+                    "                 and exit; works from another process\n"
+                    "                 while the sweep runs\n");
             }
             rest.push_back(argv[i]);
         }
@@ -65,6 +123,9 @@ sweepMain(int argc, char** argv)
 
     ExperimentOptions opts = ExperimentOptions::fromArgs(
         static_cast<int>(rest.size()), rest.data());
+
+    if (statusOnly)
+        return statusMain(opts);
 
     // --mech / --scenario run a named registry sweep instead of the full
     // 16-preset matrix (sim/scenario.hh).
