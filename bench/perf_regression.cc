@@ -43,6 +43,11 @@ struct PerfFlags
     /** > 1: also time the combined preset sweep serially vs forked across
      *  this many worker processes and record the scaling. */
     unsigned shardScaling = 0;
+    /** Also time every preset in phase-sampled mode and record the
+     *  effective (extrapolated-instructions / sampled-wall) throughput as
+     *  its own series. Empty spec: the built-in sampling defaults. */
+    bool sampledLeg = false;
+    std::string sampledSpec;
 };
 
 struct PresetTiming
@@ -133,6 +138,10 @@ perfMain(int argc, char** argv)
         } else if (flag == "--shard-scaling") {
             flags.shardScaling = static_cast<unsigned>(
                 parseU64Strict("--shard-scaling", valueOf(arg, i)));
+        } else if (flag == "--sampled-leg") {
+            flags.sampledLeg = true;
+            if (arg.find('=') != std::string::npos)
+                flags.sampledSpec = valueOf(arg, i);
         } else {
             if (flag == "--help" || flag == "-h") {
                 std::printf(
@@ -147,7 +156,10 @@ perfMain(int argc, char** argv)
                     "(default 1)\n"
                     "  --shard-scaling=N      also time the preset sweep "
                     "1-process vs N forked\n                         "
-                    "workers and record the speedup\n");
+                    "workers and record the speedup\n"
+                    "  --sampled-leg[=SPEC]   also time every preset "
+                    "phase-sampled and record the\n                     "
+                    "    effective Mops/s series (default spec if omitted)\n");
             }
             rest.push_back(argv[i]);
         }
@@ -217,6 +229,65 @@ perfMain(int argc, char** argv)
                 "%016llx)\n",
                 totalSecs, totalMops,
                 static_cast<unsigned long long>(determinism));
+
+    // --------------------------------------------------------- sampled leg
+    // Same presets in phase-sampled mode. A sampled RunResult reports
+    // extrapolated whole-trace instructions, so mopsPerSec() here is
+    // *effective* throughput — directly comparable to the full series
+    // above, and only meaningfully >1x on long traces (see README
+    // "Sampled simulation").
+    std::vector<PresetTiming> sampledTimings;
+    SampleOptions sampleSpec;
+    double sampledSecs = 0.0, sampledMops = 0.0;
+    if (flags.sampledLeg) {
+        sampleSpec = flags.sampledSpec.empty()
+                         ? [] {
+                               SampleOptions s;
+                               s.enabled = true;
+                               return s;
+                           }()
+                         : SampleOptions::parse(flags.sampledSpec);
+        ExperimentOptions sopts = opts;
+        sopts.sample = sampleSpec;
+        uint64_t sampledInsts = 0;
+        for (const auto& [name, mech] : presets) {
+            Experiment exp("perf_sampled_" + name, suite, sopts);
+            exp.add(name, mech);
+            PresetTiming t;
+            t.name = name;
+            t.cells = suite.size();
+            double best = -1.0;
+            for (unsigned rep = 0; rep < flags.repeats; ++rep) {
+                auto t0 = std::chrono::steady_clock::now();
+                ExperimentResult res = exp.run();
+                double secs = secondsSince(t0);
+                if (best < 0.0 || secs < best) {
+                    best = secs;
+                    t.instructions = 0;
+                    t.cycles = 0;
+                    for (size_t row = 0; row < res.numRows(); ++row) {
+                        t.instructions += res.at(row, 0).instructions;
+                        t.cycles += res.at(row, 0).cycles;
+                    }
+                }
+            }
+            t.wallSeconds = best;
+            sampledTimings.push_back(t);
+            sampledSecs += t.wallSeconds;
+            sampledInsts += t.instructions;
+            std::printf("%-18s %6.3fs  %8.2f eff-Mops/s  (sampled)\n",
+                        name.c_str(), t.wallSeconds, t.mopsPerSec());
+        }
+        sampledMops = sampledSecs <= 0.0
+                          ? 0.0
+                          : static_cast<double>(sampledInsts) /
+                                sampledSecs / 1e6;
+        std::printf("sampled total      %6.3fs  %8.2f eff-Mops/s  "
+                    "(%.2fx vs full, spec %s)\n",
+                    sampledSecs, sampledMops,
+                    totalMops > 0.0 ? sampledMops / totalMops : 0.0,
+                    sampleSpec.spec().c_str());
+    }
 
     // ------------------------------------------------ multi-process scaling
     // Times the combined preset sweep once serially and once forked across
@@ -299,6 +370,30 @@ perfMain(int argc, char** argv)
                                        : 0.0);
             json += buf;
         }
+        if (flags.sampledLeg) {
+            std::snprintf(buf, sizeof(buf),
+                          "  \"sampled\": {\"spec\":\"%s\", \"presets\": [\n",
+                          sampleSpec.spec().c_str());
+            json += buf;
+            for (size_t i = 0; i < sampledTimings.size(); ++i) {
+                const PresetTiming& t = sampledTimings[i];
+                std::snprintf(
+                    buf, sizeof(buf),
+                    "    {\"name\":\"%s\", \"wall_seconds\":%.6f, "
+                    "\"effective_mops_per_sec\":%.3f}%s\n",
+                    t.name.c_str(), t.wallSeconds, t.mopsPerSec(),
+                    i + 1 < sampledTimings.size() ? "," : "");
+                json += buf;
+            }
+            std::snprintf(
+                buf, sizeof(buf),
+                "  ], \"wall_seconds\":%.6f, "
+                "\"effective_mops_per_sec\":%.3f, "
+                "\"speedup_vs_full\":%.3f},\n",
+                sampledSecs, sampledMops,
+                totalMops > 0.0 ? sampledMops / totalMops : 0.0);
+            json += buf;
+        }
         std::snprintf(buf, sizeof(buf),
                       "  \"total\": {\"wall_seconds\":%.6f, "
                       "\"mops_per_sec\":%.3f}\n}\n",
@@ -313,6 +408,10 @@ perfMain(int argc, char** argv)
     std::printf("wrote %s\n", flags.jsonOut.c_str());
 
     // ------------------------------------------------------ regression gate
+    // Gates per-preset Mops/s as well as the total: a regression confined
+    // to one mechanism's hook path (e.g. constable's stability tables)
+    // barely moves the 6-preset total, and the total-only gate used to
+    // let exactly that class of slowdown through.
     if (!flags.checkAgainst.empty()) {
         std::string baseline;
         if (!readWholeFile(flags.checkAgainst, baseline))
@@ -323,6 +422,38 @@ perfMain(int argc, char** argv)
             !extractNumber(baseline, "mops_per_sec", totalAt, baseMops))
             fatal("baseline " + flags.checkAgainst +
                   " has no total mops_per_sec");
+        int regressions = 0;
+        // Full-fidelity presets only: scope the per-preset lookup to the
+        // first "presets" array so the sampled section's entries (which
+        // share names) can never be mistaken for baselines.
+        size_t presetsAt = baseline.find("\"presets\"");
+        size_t presetsEnd = presetsAt == std::string::npos
+                                ? std::string::npos
+                                : baseline.find(']', presetsAt);
+        for (const PresetTiming& t : timings) {
+            size_t at = baseline.find("\"name\":\"" + t.name + "\"",
+                                      presetsAt);
+            double base = 0.0;
+            if (at == std::string::npos || at > presetsEnd ||
+                !extractNumber(baseline, "mops_per_sec", at, base)) {
+                std::printf("  %-18s no baseline entry; skipped\n",
+                            t.name.c_str());
+                continue;
+            }
+            double presetFloor = base * (1.0 - flags.maxRegression);
+            std::printf("  %-18s current %8.2f vs baseline %8.2f Mops/s "
+                        "(floor %8.2f)%s\n",
+                        t.name.c_str(), t.mopsPerSec(), base, presetFloor,
+                        t.mopsPerSec() < presetFloor ? "  REGRESSED" : "");
+            if (t.mopsPerSec() < presetFloor) {
+                std::fprintf(stderr,
+                             "PERF REGRESSION: preset %s at %.2f Mops/s is "
+                             "%.1f%% below baseline %.2f\n",
+                             t.name.c_str(), t.mopsPerSec(),
+                             100.0 * (1.0 - t.mopsPerSec() / base), base);
+                ++regressions;
+            }
+        }
         double floor = baseMops * (1.0 - flags.maxRegression);
         std::printf("regression gate: current %.2f vs baseline %.2f Mops/s "
                     "(floor %.2f)\n",
@@ -333,9 +464,12 @@ perfMain(int argc, char** argv)
                          "baseline %.2f\n",
                          totalMops, 100.0 * (1.0 - totalMops / baseMops),
                          baseMops);
-            return 1;
+            ++regressions;
         }
-        std::printf("regression gate passed\n");
+        if (regressions > 0)
+            return 1;
+        std::printf("regression gate passed (%zu presets + total)\n",
+                    timings.size());
     }
     return 0;
 }

@@ -14,6 +14,7 @@
  *   cpu/mem_pipe.cc  AGU, disambiguation, writeback, squash recovery
  *   cpu/retire.cc    in-order retire, snoop delivery, the golden check
  *   cpu/core.cc      construction and final stat export
+ *   cpu/warmup.cc    functional fast-forward + measured sampled windows
  *
  * all over the shared CoreState of cpu/core_state.hh.
  *
@@ -48,6 +49,59 @@ class OooCore : private CoreState
 
     /** Run to completion of all trace contexts. */
     RunResult run();
+
+    // ---- sampled simulation (cpu/warmup.cc; single-trace cores only) ----
+
+    /** Cycles and retired-op count of one measured sampled window. */
+    struct WindowTiming
+    {
+        Cycle cycles = 0;
+        uint64_t ops = 0;
+    };
+
+    /** Next trace index the sampled drivers would rename (thread 0). */
+    size_t sampleCursor() const { return threads[0].traceIdx; }
+
+    /**
+     * Functional fast-forward of thread 0 to trace index @p target_idx
+     * without OoO scheduling. Ops at indices >= @p touch_from_idx update
+     * caches/TLB, the branch predictor, the memory-dependence heuristic and
+     * every active mechanism's tables (MechanismSet::warmupLoad); earlier
+     * ops run a branch-predictor-only fast skip (plus snoop delivery and a
+     * mechanism-table flush), so a distant window costs the cheap branch
+     * replay plus the detailed-warm horizon before it.
+     */
+    void warmupAdvance(size_t target_idx, size_t touch_from_idx);
+
+    /** One measured region of a chained detailed run ([begin, end) trace
+     *  indices). Segments must be sorted and non-overlapping. */
+    struct SampleSegment
+    {
+        size_t begin = 0;
+        size_t end = 0;
+    };
+
+    /**
+     * Run one continuous detailed stretch covering several measured
+     * segments: rename from the current cursor (the fill prefix that
+     * re-fills the pipeline), record the cycle at which each segment
+     * boundary retires, and return per-segment cycle/op counts. Ops
+     * between segments stay detailed but unmeasured, which is what keeps
+     * near-adjacent windows unbiased — a squash between them would make
+     * the later window measure a pipeline-refill ramp. After the last
+     * segment everything still in flight is squashed so the cursor rests
+     * at the first unretired op. @p rename_limit (>= the last segment
+     * end) keeps the frontend fed through the tail of the measurement
+     * without running ahead forever.
+     */
+    std::vector<WindowTiming>
+    runSampleWindows(const std::vector<SampleSegment>& segs,
+                     size_t rename_limit);
+
+    /** Assemble a RunResult from the current (partially simulated) state:
+     *  the sampled driver (sim/sample.cc) overwrites the cycle/instruction
+     *  totals with its extrapolation. */
+    RunResult sampledResult();
 
     /** Event-wheel span (see core_state.hh). */
     static constexpr unsigned kWheelSize = kEventWheelSize;

@@ -152,6 +152,18 @@ struct ThreadCtx
     uint64_t retired = 0;
     Cycle finishCycle = 0;
     bool done = false;
+    /** Rename fence for sampled windows (cpu/warmup.cc): ops at indices
+     *  >= renameLimit never enter the pipeline. SIZE_MAX (the default)
+     *  reproduces full-fidelity behaviour exactly. */
+    size_t renameLimit = SIZE_MAX;
+
+    /** First trace index rename must not cross (trace end or the sampled
+     *  window fence, whichever is lower). */
+    size_t
+    opsEnd() const
+    {
+        return std::min(renameLimit, trace->ops.size());
+    }
 };
 
 /**

@@ -150,6 +150,26 @@ ConstableMech::loadWriteback(CoreState& cs, ThreadCtx& t, InFlight& e)
 }
 
 void
+ConstableMech::warmupLoad(CoreState& cs, const MicroOp& op, PC fwd_store_pc)
+{
+    (void)fwd_store_pc;
+    // In-order functional replay of the rename -> writeback sequence. An
+    // elimination would hold its xPRF register only until retire, which in
+    // the untimed replay is immediate; a non-eliminated load trains the
+    // SLD/AMT exactly as loadWriteback would (the store-buffer race that
+    // blocks arming there needs in-flight stores, which do not exist here).
+    ElimDecision d = engine.renameLoad(op.pc, op.addrMode);
+    if (d.eliminate) {
+        engine.releaseEliminated();
+        return;
+    }
+    bool armed = engine.writebackLoad(op.pc, op.effAddr, op.value,
+                                      d.likelyStable, op.src);
+    if (armed && engine.config().cvBitPinning)
+        cs.directory.pin(lineAddr(op.effAddr));
+}
+
+void
 ConstableMech::squashOp(InFlight& e)
 {
     if (e.eliminated && e.xprfHeld)
@@ -178,6 +198,17 @@ EvesMech::renameLoad(CoreState& cs, ThreadCtx& t, InFlight& e, int slot,
             ++cs.vpWrongByPc[e.op.pc];
         handled = true;
     }
+}
+
+void
+EvesMech::warmupLoad(CoreState& cs, const MicroOp& op, PC fwd_store_pc)
+{
+    (void)cs;
+    (void)fwd_store_pc;
+    // Matched notifyRename/train pairs keep E-Stride's in-flight instance
+    // accounting balanced through the warm-up.
+    eves.notifyRename(op.pc);
+    eves.train(op.pc, op.value);
 }
 
 void
@@ -235,6 +266,13 @@ MrnMech::loadWriteback(CoreState& cs, ThreadCtx& t, InFlight& e)
 }
 
 void
+MrnMech::warmupLoad(CoreState& cs, const MicroOp& op, PC fwd_store_pc)
+{
+    (void)cs;
+    mrn.train(op.pc, fwd_store_pc);
+}
+
+void
 MrnMech::onValueMispredict(InFlight& e)
 {
     if (e.mrnForwarded)
@@ -258,6 +296,14 @@ RfpMech::renameLoad(CoreState& cs, ThreadCtx& t, InFlight& e, int slot,
     e.vpWrong = p.addr != e.op.effAddr;
     cs.schedule(slot, EventKind::ValueAvail, latency_);
     handled = true;
+}
+
+void
+RfpMech::warmupLoad(CoreState& cs, const MicroOp& op, PC fwd_store_pc)
+{
+    (void)cs;
+    (void)fwd_store_pc;
+    rfp.train(op.pc, op.effAddr);
 }
 
 void

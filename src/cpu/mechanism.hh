@@ -68,6 +68,7 @@ class ConstableMech
     void renameLoad(CoreState& cs, ThreadCtx& t, InFlight& e, int slot,
                     bool& handled);
     void loadWriteback(CoreState& cs, ThreadCtx& t, InFlight& e);
+    void warmupLoad(CoreState& cs, const MicroOp& op, PC fwd_store_pc);
     void squashOp(InFlight& e);
 
     ConstableEngine engine;
@@ -81,6 +82,7 @@ class EvesMech
 
     void renameLoad(CoreState& cs, ThreadCtx& t, InFlight& e, int slot,
                     bool& handled);
+    void warmupLoad(CoreState& cs, const MicroOp& op, PC fwd_store_pc);
     void squashOp(InFlight& e);
     void retireLoad(InFlight& e);
     void retireBranch(bool taken) { eves.pushHistory(taken); }
@@ -97,6 +99,7 @@ class MrnMech
     void renameLoad(CoreState& cs, ThreadCtx& t, InFlight& e, int slot,
                     bool& handled);
     void loadWriteback(CoreState& cs, ThreadCtx& t, InFlight& e);
+    void warmupLoad(CoreState& cs, const MicroOp& op, PC fwd_store_pc);
     void onValueMispredict(InFlight& e);
 
     MrnTable mrn;
@@ -110,6 +113,7 @@ class RfpMech
 
     void renameLoad(CoreState& cs, ThreadCtx& t, InFlight& e, int slot,
                     bool& handled);
+    void warmupLoad(CoreState& cs, const MicroOp& op, PC fwd_store_pc);
     void onValueMispredict(InFlight& e);
     void squashOp(InFlight& e);
     void retireLoad(InFlight& e);
@@ -235,6 +239,18 @@ class MechanismSet
             constable_.engine.onEliminationViolation(pc);
     }
 
+    /** Sampled warm-up skipped a trace region outright (cpu/warmup.cc):
+     *  stores in the gap never probed the AMT, so armed eliminations may
+     *  hold stale values. Flush the tracking tables (the paper's §6.7.3
+     *  context-switch path); the warm horizon after the gap re-trains
+     *  them, keeping the golden invariant by construction. */
+    void
+    onWarmupGap()
+    {
+        if (constableActive_)
+            constable_.engine.contextSwitch();
+    }
+
     // ------------------------------------------------ writeback / recovery
     /** A non-eliminated load delivered its value (writeback stage). */
     void
@@ -243,6 +259,21 @@ class MechanismSet
         dispatch([&](auto* m) {
             if constexpr (requires { m->loadWriteback(cs, t, e); })
                 m->loadWriteback(cs, t, e);
+        });
+    }
+
+    /** Functional warm-up of a load (sampled simulation, cpu/warmup.cc):
+     *  each active mechanism replays the training its rename + writeback /
+     *  retire hooks would perform for an untimed, in-order instance of
+     *  @p op. @p fwd_store_pc is the static store that would forward to
+     *  this load (0 = value came from memory), mirroring the detailed
+     *  pipeline's store-buffer forwarding outcome for MRN training. */
+    void
+    warmupLoad(CoreState& cs, const MicroOp& op, PC fwd_store_pc)
+    {
+        dispatch([&](auto* m) {
+            if constexpr (requires { m->warmupLoad(cs, op, fwd_store_pc); })
+                m->warmupLoad(cs, op, fwd_store_pc);
         });
     }
 

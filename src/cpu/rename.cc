@@ -48,7 +48,7 @@ bool
 OooCore::renameOne(ThreadCtx& t, unsigned& loads_this_cycle,
                    unsigned& sld_updates_this_cycle)
 {
-    if (t.traceIdx >= t.trace->ops.size())
+    if (t.traceIdx >= t.opsEnd())
         return false;
     const MicroOp& op = t.trace->ops[t.traceIdx];
 

@@ -110,11 +110,16 @@ OooCore::retireStage()
             ++t.retired;
             --budget;
 
-            if (t.traceIdx >= t.trace->ops.size() && t.rob.empty()) {
-                // Deliver any trailing snoops, then finish the context.
-                deliverSnoops(t, t.trace->ops.size());
-                t.done = true;
-                t.finishCycle = now;
+            if (t.traceIdx >= t.opsEnd() && t.rob.empty()) {
+                // Finished only when the *trace* drained; a sampled-window
+                // fence (renameLimit) ending early leaves the context open
+                // for the next warm-up/window pass (cpu/warmup.cc).
+                if (t.opsEnd() == t.trace->ops.size()) {
+                    // Deliver any trailing snoops, then finish the context.
+                    deliverSnoops(t, t.trace->ops.size());
+                    t.done = true;
+                    t.finishCycle = now;
+                }
                 break;
             }
         }

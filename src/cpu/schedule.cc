@@ -179,7 +179,7 @@ OooCore::tryFastForward()
             dFrontend = 1;
             dPendingBranch = pb ? 1 : 0;
         }
-    } else if (t.traceIdx >= t.trace->ops.size()) {
+    } else if (t.traceIdx >= t.opsEnd()) {
         dZero = 1; // trace drained; renameOne returns without a stall stat
     } else {
         const MicroOp& op = t.trace->ops[t.traceIdx];

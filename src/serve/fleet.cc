@@ -167,9 +167,16 @@ decodeCalibCache(const std::vector<uint8_t>& bytes, uint64_t& fp,
 
 void
 verifyCalibCache(const std::string& dir, const Scenario& sc,
+                 const SampleOptions& sample,
                  const std::vector<MachineCalibration>& calib, uint64_t fp)
 {
-    std::string file = "fleet-" + sanitizeFileName(sc.name) + ".calib";
+    // Sampled and full-fidelity calibrations have different fingerprints
+    // by design; keying the cache file on the sample spec lets the two
+    // coexist instead of quarantining each other on every mode switch.
+    std::string file = "fleet-" + sanitizeFileName(sc.name);
+    if (sample.enabled)
+        file += "-" + sanitizeFileName(sample.spec());
+    file += ".calib";
     std::string path = dir + "/" + file;
     std::vector<uint8_t> bytes;
     static ObsCounter& cacheHits = obsCounter("fleet.calib.cache_hit");
@@ -522,7 +529,8 @@ runFleetScenario(const Scenario& sc, ExperimentOptions opts)
         resumed = res.resumedCells();
     }
     if (!opts.checkpointDir.empty())
-        verifyCalibCache(opts.checkpointDir, sc, calib, calibFp);
+        verifyCalibCache(opts.checkpointDir, sc, opts.sample, calib,
+                         calibFp);
 
     FleetReport rep = simulateFleet(sc, calib);
     rep.calibFingerprint = calibFp;

@@ -112,6 +112,9 @@ printUsage(const char* prog, int exit_code)
         "the\n                      bench's compiled-in figure\n"
         "  --scenario=FILE     run a declarative scenario file (see "
         "README)\n"
+        "  --sample=SPEC       phase-sampled simulation: phases:N,window:K "
+        "(or\n                      'off'); see README \"Sampled "
+        "simulation\"\n"
         "  --fault-plan=SPEC   arm deterministic I/O fault injection "
         "(see\n                      README \"Fault injection & "
         "recovery\")\n"
@@ -129,7 +132,7 @@ printUsage(const char* prog, int exit_code)
         "CONSTABLE_TRACE_CACHE_MAX_AGE_DAYS,\nCONSTABLE_SHARDS, "
         "CONSTABLE_SHARD_ID, CONSTABLE_LEASE_TTL_SEC,\n"
         "CONSTABLE_SHARD_POLL_MS, CONSTABLE_COST_MODEL, CONSTABLE_MECH,\n"
-        "CONSTABLE_SCENARIO, CONSTABLE_FAULT_PLAN, "
+        "CONSTABLE_SCENARIO, CONSTABLE_SAMPLE, CONSTABLE_FAULT_PLAN, "
         "CONSTABLE_FAULT_MARKER_DIR,\nCONSTABLE_FAULT_SEED, "
         "CONSTABLE_TRACE_OUT, CONSTABLE_METRICS_OUT,\n"
         "CONSTABLE_PROGRESS_SEC, CONSTABLE_LOG_LEVEL "
@@ -182,6 +185,8 @@ ExperimentOptions::fromEnv()
         appendMechNames("CONSTABLE_MECH", *v, opts.mechNames);
     if (auto v = envStr("CONSTABLE_SCENARIO"))
         opts.scenarioFile = *v;
+    if (auto v = envStr("CONSTABLE_SAMPLE"))
+        opts.sample = SampleOptions::parse(*v);
     if (auto v = envStr("CONSTABLE_TRACE_OUT"))
         opts.traceOutPath = *v;
     if (auto v = envStr("CONSTABLE_METRICS_OUT"))
@@ -278,6 +283,8 @@ ExperimentOptions::fromArgs(int argc, char** argv)
             scenarioFromCli = true;
             if (!mechFromCli)
                 opts.mechNames.clear();
+        } else if (flag == "--sample") {
+            opts.sample = SampleOptions::parse(val());
         } else if (flag == "--fault-plan") {
             installFaultPlan(val(),
                              envStr("CONSTABLE_FAULT_MARKER_DIR")
@@ -682,6 +689,13 @@ Experiment::checkpointDirFor(const std::string& root, bool smt,
     uint64_t key = hashCombine(suite_->contentHash(), smt ? 1 : 0);
     for (const std::string& n : names_)
         key = hashCombine(key, fnv1a(n));
+    // Sampled and full-fidelity sweeps must never share cells: fold the
+    // sample spec (and the seed, which drives window selection) into the
+    // key so each spec gets its own checkpoint directory.
+    if (opts_.sample.enabled) {
+        key = hashCombine(key, fnv1a("sample:" + opts_.sample.spec()));
+        key = hashCombine(key, opts_.seed);
+    }
     manifest.experiment = name_;
     manifest.suiteHash = key;
     manifest.smt = smt;
@@ -713,9 +727,18 @@ Experiment::runCells(size_t rows, bool smt)
         size_t row = job / m.numConfigs;
         size_t cfgIdx = job % m.numConfigs;
         SystemConfig cfg = factories_[cfgIdx](row);
-        if (smt)
+        if (smt) {
+            if (opts_.sample.enabled) {
+                fatal("--sample does not support SMT-pair sweeps; SMT "
+                      "rows stay full-fidelity");
+            }
             return runSmtPair(*pairs[row].first, *pairs[row].second, cfg);
+        }
         const std::unordered_set<PC>* g = gs.empty() ? nullptr : gs[row];
+        if (opts_.sample.enabled) {
+            return runSampledTrace(*traces[row], cfg.core, cfg.mech,
+                                   opts_.sample, opts_.seed, g);
+        }
         return runTrace(*traces[row], cfg, g);
     };
 

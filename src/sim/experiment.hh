@@ -32,6 +32,7 @@
 #include "sim/batch.hh"
 #include "sim/mechanisms.hh"
 #include "sim/runner.hh"
+#include "sim/sample.hh"
 #include "sim/shard.hh"
 #include "trace/generator.hh"
 #include "workloads/suite.hh"
@@ -91,9 +92,16 @@ struct ExperimentOptions
      *  sweep; 0 disables them (status.json still updates when a
      *  checkpoint directory exists). */
     unsigned progressSec = 10;
+    /** Phase-sampled simulation (--sample=phases:N,window:K /
+     *  CONSTABLE_SAMPLE): when enabled, single-trace sweep cells run
+     *  through runSampledTrace() instead of full fidelity, and checkpoint
+     *  cells are keyed by the sample spec so sampled and full sweeps never
+     *  share cells. SMT-pair sweeps reject sampling (fatal). */
+    SampleOptions sample;
 
     /** All knobs from CONSTABLE_* env vars (strict: malformed -> fatal).
-     *  New: CONSTABLE_MECH, CONSTABLE_SCENARIO, CONSTABLE_COST_MODEL. */
+     *  New: CONSTABLE_MECH, CONSTABLE_SCENARIO, CONSTABLE_COST_MODEL,
+     *  CONSTABLE_SAMPLE. */
     static ExperimentOptions fromEnv();
 
     /**
@@ -101,6 +109,7 @@ struct ExperimentOptions
      * --trace-ops=N --suite-limit=N --trace-dir=PATH --checkpoint-dir=PATH
      * --shards=N --shard-id=K --lease-ttl-sec=N --shard-poll-ms=N
      * --cost-model=PATH --mech=NAME[,NAME...] --scenario=FILE
+     * --sample=phases:N,window:K
      * ("--flag value" also accepted). --help prints usage and exits;
      * unknown arguments fatal().
      */

@@ -1,0 +1,429 @@
+/**
+ * @file
+ * Phase-sampled simulation: fingerprinting, deterministic seeded k-means
+ * window selection, and the warm-up/measure/extrapolate driver over
+ * cpu/warmup.cc. See sim/sample.hh for the contract.
+ */
+
+#include "sim/sample.hh"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <mutex>
+#include <unordered_map>
+
+#include "common/env.hh"
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "cpu/core.hh"
+#include "trace/serialize.hh"
+
+namespace constable {
+
+namespace {
+
+/** Rename overrun past the measured region: keeps the frontend feeding
+ *  the window's tail so drain never leaks into the measurement (matches
+ *  the ROB depth, the farthest the frontend can run ahead anyway). */
+constexpr size_t kOverrunOps = 512;
+
+constexpr size_t kPcBuckets = 32;
+constexpr size_t kOpClasses = 12; // OpClass has 12 enumerators
+constexpr size_t kAddrBuckets = 16;
+constexpr size_t kDims = kPcBuckets + kOpClasses + kAddrBuckets;
+
+using Fingerprint = std::array<double, kDims>;
+
+double
+dist2(const Fingerprint& a, const Fingerprint& b)
+{
+    double d = 0;
+    for (size_t i = 0; i < kDims; ++i) {
+        double x = a[i] - b[i];
+        d += x * x;
+    }
+    return d;
+}
+
+/** L1-normalized hashed-PC + op-class-mix + hashed-line-address vector of
+ *  one phase. The address buckets matter: two phases with identical code
+ *  (same PC/op-mix image) but disjoint data working sets behave very
+ *  differently in the cache hierarchy, and only the address dimensions
+ *  can keep them out of the same cluster. */
+Fingerprint
+fingerprintPhase(const Trace& trace, size_t begin, size_t end)
+{
+    Fingerprint fp {};
+    for (size_t i = begin; i < end; ++i) {
+        const MicroOp& op = trace.ops[i];
+        fp[Rng::splitmix(op.pc) % kPcBuckets] += 1.0;
+        fp[kPcBuckets + static_cast<size_t>(op.cls)] += 1.0;
+        if (op.isLoad() || op.isStore()) {
+            fp[kPcBuckets + kOpClasses +
+               Rng::splitmix(op.effAddr >> 6) % kAddrBuckets] += 1.0;
+        }
+    }
+    double total = static_cast<double>(end - begin);
+    if (total > 0)
+        for (double& v : fp)
+            v /= total;
+    return fp;
+}
+
+/**
+ * Selection is a pure function of (seed, trace content, opts) and every
+ * preset of a sweep row shares the same trace, so one fingerprint+k-means
+ * pass serves all 16 cells. Keyed by trace identity (name + size + a
+ * content probe, in case one process builds same-named traces of
+ * different shapes) plus the spec and seed.
+ */
+const std::vector<SampleWindow>&
+cachedWindows(const Trace& trace, const SampleOptions& opts, uint64_t seed)
+{
+    uint64_t id = fnv1a(trace.name);
+    id = Rng::splitmix(id ^ trace.ops.size());
+    if (!trace.ops.empty()) {
+        id = Rng::splitmix(id ^ trace.ops.front().pc);
+        id = Rng::splitmix(id ^ trace.ops[trace.ops.size() / 2].effAddr);
+        id = Rng::splitmix(id ^ trace.ops.back().pc);
+    }
+    std::string key = opts.spec() + '#' + std::to_string(seed) + '#' +
+                      std::to_string(id);
+    static std::mutex mu;
+    static std::unordered_map<std::string, std::vector<SampleWindow>> cache;
+    std::lock_guard<std::mutex> lock(mu);
+    auto it = cache.find(key);
+    if (it == cache.end())
+        it = cache.emplace(key, selectSampleWindows(trace, opts, seed))
+                 .first;
+    return it->second;
+}
+
+} // namespace
+
+SampleOptions
+SampleOptions::parse(const std::string& spec)
+{
+    SampleOptions o;
+    if (spec == "off")
+        return o;
+    o.enabled = true;
+    if (spec.empty())
+        fatal("--sample: empty spec (expected phases:N,window:K or off)");
+    bool sawPhases = false;
+    bool sawWindow = false;
+    bool sawFill = false;
+    bool sawWarm = false;
+    bool sawSpread = false;
+    size_t pos = 0;
+    while (true) {
+        size_t comma = spec.find(',', pos);
+        std::string part = spec.substr(
+            pos, comma == std::string::npos ? std::string::npos
+                                            : comma - pos);
+        size_t colon = part.find(':');
+        if (colon == std::string::npos || colon == 0) {
+            fatal("--sample: expected key:value, got '" + part +
+                  "' (grammar: phases:N,window:K,fill:F,warm:W,"
+                  "spread:S)");
+        }
+        std::string key = part.substr(0, colon);
+        std::string val = part.substr(colon + 1);
+        if (key == "phases") {
+            if (sawPhases)
+                fatal("--sample: duplicate key 'phases'");
+            sawPhases = true;
+            o.phases = parseU64InRange("--sample phases", val, 1, 4096);
+        } else if (key == "window") {
+            if (sawWindow)
+                fatal("--sample: duplicate key 'window'");
+            sawWindow = true;
+            o.window = parseU64InRange("--sample window", val, 16,
+                                       1ull << 22);
+        } else if (key == "fill") {
+            if (sawFill)
+                fatal("--sample: duplicate key 'fill'");
+            sawFill = true;
+            o.fill = parseU64InRange("--sample fill", val, 0, 1ull << 22);
+        } else if (key == "warm") {
+            if (sawWarm)
+                fatal("--sample: duplicate key 'warm'");
+            sawWarm = true;
+            o.warm = parseU64InRange("--sample warm", val, 0, 1ull << 30);
+        } else if (key == "spread") {
+            if (sawSpread)
+                fatal("--sample: duplicate key 'spread'");
+            sawSpread = true;
+            o.spread = parseU64InRange("--sample spread", val, 1, 64);
+        } else {
+            fatal("--sample: unknown key '" + key +
+                  "' (expected phases, window, fill, warm or spread)");
+        }
+        if (comma == std::string::npos)
+            break;
+        pos = comma + 1;
+    }
+    return o;
+}
+
+std::string
+SampleOptions::spec() const
+{
+    if (!enabled)
+        return "off";
+    return "phases:" + std::to_string(phases) +
+           ",window:" + std::to_string(window) +
+           ",fill:" + std::to_string(fill) +
+           ",warm:" + std::to_string(warm) +
+           ",spread:" + std::to_string(spread);
+}
+
+std::vector<SampleWindow>
+selectSampleWindows(const Trace& trace, const SampleOptions& opts,
+                    uint64_t seed)
+{
+    const size_t traceSize = trace.ops.size();
+    const size_t window = static_cast<size_t>(opts.window);
+    const size_t numPhases = traceSize / window; // drop a ragged tail phase
+    std::vector<SampleWindow> out;
+    if (numPhases == 0)
+        return out;
+
+    if (numPhases <= opts.phases) {
+        // Fewer phases than clusters: every phase is its own window.
+        for (size_t p = 0; p < numPhases; ++p) {
+            size_t end = p + 1 == numPhases ? traceSize : (p + 1) * window;
+            out.push_back(SampleWindow{ p * window, end,
+                                        1.0 / numPhases });
+        }
+        return out;
+    }
+
+    std::vector<Fingerprint> fps(numPhases);
+    for (size_t p = 0; p < numPhases; ++p)
+        fps[p] = fingerprintPhase(trace, p * window, (p + 1) * window);
+
+    // Seeded from (master seed, trace identity) only — never thread/row/
+    // shard — so selection is bit-identical across execution layouts.
+    Rng rng(Rng::splitmix(seed ^ fnv1a(trace.name)));
+    const size_t k = static_cast<size_t>(opts.phases);
+
+    // Initial centroids: k distinct phases picked uniformly.
+    std::vector<size_t> centers;
+    std::vector<bool> used(numPhases, false);
+    while (centers.size() < k) {
+        size_t p = static_cast<size_t>(rng.next() % numPhases);
+        if (!used[p]) {
+            used[p] = true;
+            centers.push_back(p);
+        }
+    }
+    std::sort(centers.begin(), centers.end()); // order-independent init
+    std::vector<Fingerprint> centroids(k);
+    for (size_t c = 0; c < k; ++c)
+        centroids[c] = fps[centers[c]];
+
+    std::vector<size_t> assign(numPhases, 0);
+    constexpr unsigned kIters = 12;
+    for (unsigned iter = 0; iter < kIters; ++iter) {
+        for (size_t p = 0; p < numPhases; ++p) {
+            size_t best = 0;
+            double bestD = dist2(fps[p], centroids[0]);
+            for (size_t c = 1; c < k; ++c) {
+                double d = dist2(fps[p], centroids[c]);
+                if (d < bestD) { // strict: ties keep the lowest index
+                    bestD = d;
+                    best = c;
+                }
+            }
+            assign[p] = best;
+        }
+        std::vector<Fingerprint> sums(k, Fingerprint{});
+        std::vector<size_t> counts(k, 0);
+        for (size_t p = 0; p < numPhases; ++p) {
+            ++counts[assign[p]];
+            for (size_t i = 0; i < kDims; ++i)
+                sums[assign[p]][i] += fps[p][i];
+        }
+        for (size_t c = 0; c < k; ++c) {
+            if (counts[c] == 0)
+                continue; // empty cluster keeps its old centroid
+            for (size_t i = 0; i < kDims; ++i)
+                centroids[c][i] = sums[c][i] / counts[c];
+        }
+    }
+
+    // Representatives per non-empty cluster: up to `spread` members picked
+    // at evenly spaced TIME quantiles of the cluster's member list, each
+    // carrying an equal share of the cluster's population weight. Time
+    // stratification matters more than centroid proximity: long traces
+    // drift (caches and predictors keep warming), so same-fingerprint
+    // phases get faster over the run — a single "closest to centroid"
+    // pick (ties toward low indices) lands early and overestimates
+    // cycles, with the error growing with trace length.
+    std::vector<std::vector<size_t>> members(k);
+    for (size_t p = 0; p < numPhases; ++p)
+        members[assign[p]].push_back(p); // ascending by construction
+    for (size_t c = 0; c < k; ++c) {
+        size_t n = members[c].size();
+        if (n == 0)
+            continue;
+        size_t reps = std::min<size_t>(n, opts.spread);
+        double w = static_cast<double>(n) /
+                   (static_cast<double>(numPhases) *
+                    static_cast<double>(reps));
+        for (size_t j = 0; j < reps; ++j) {
+            size_t p = members[c][(2 * j + 1) * n / (2 * reps)];
+            out.push_back(SampleWindow{ p * window, (p + 1) * window, w });
+        }
+    }
+    std::sort(out.begin(), out.end(),
+              [](const SampleWindow& a, const SampleWindow& b) {
+                  return a.begin < b.begin;
+              });
+    return out;
+}
+
+RunResult
+runSampledTrace(const Trace& trace, const CoreConfig& core_cfg,
+                const MechanismConfig& mech_cfg, const SampleOptions& opts,
+                uint64_t seed, const std::unordered_set<PC>* gs)
+{
+    if (!opts.enabled)
+        fatal("runSampledTrace called with sampling disabled");
+
+    const std::vector<SampleWindow>& windows =
+        cachedWindows(trace, opts, seed);
+
+    OooCore core(core_cfg, mech_cfg, { &trace }, gs);
+
+    // Too small to sample (or selection degenerated to full coverage):
+    // run at full fidelity. The result still carries the sample.* keys so
+    // consumers can tell a degenerate sampled cell from a full-mode one.
+    double totalOps = static_cast<double>(trace.ops.size());
+    bool degenerate = windows.empty();
+    if (!degenerate) {
+        double covered = 0;
+        for (const SampleWindow& w : windows)
+            covered += static_cast<double>(w.end - w.begin);
+        degenerate = covered >= totalOps;
+    }
+    if (degenerate) {
+        RunResult r = core.run();
+        if (r.goldenCheckFailed)
+            panic("sampled run (full-fidelity fallback) failed golden "
+                  "check: " + r.goldenCheckMessage);
+        r.stats.set("sample.enabled", 1.0);
+        r.stats.set("sample.phases", static_cast<double>(opts.phases));
+        r.stats.set("sample.window", static_cast<double>(opts.window));
+        r.stats.set("sample.windows", 0.0);
+        r.stats.set("sample.coverage", 1.0);
+        r.stats.set("sample.cpi",
+                    r.instructions ? static_cast<double>(r.cycles) /
+                                         static_cast<double>(r.instructions)
+                                   : 0.0);
+        r.stats.set("sample.cpi.ci95", 0.0);
+        r.stats.set("sample.cycles.ci95", 0.0);
+        return r;
+    }
+
+    // Warm up to and measure the selected windows in trace order. Windows
+    // whose gap to the previous one is at most the fill length are chained
+    // into ONE continuous detailed run (the gap ops stay detailed but
+    // unmeasured): squashing between near-adjacent windows would make the
+    // later one measure a pipeline-refill ramp instead of steady state.
+    struct Measured
+    {
+        double cpi = 0;
+        double weight = 0;
+        uint64_t ops = 0;
+    };
+    std::vector<Measured> measured;
+    uint64_t measuredOps = 0;
+    size_t i = 0;
+    while (i < windows.size()) {
+        size_t begin = std::max(windows[i].begin, core.sampleCursor());
+        if (begin >= windows[i].end) {
+            ++i; // swallowed by the previous chain's overrun
+            continue;
+        }
+        std::vector<OooCore::SampleSegment> segs {
+            OooCore::SampleSegment{ begin, windows[i].end }
+        };
+        std::vector<double> weights { windows[i].weight };
+        size_t j = i + 1;
+        while (j < windows.size() &&
+               windows[j].begin - segs.back().end <= opts.fill) {
+            segs.push_back(OooCore::SampleSegment{ windows[j].begin,
+                                                   windows[j].end });
+            weights.push_back(windows[j].weight);
+            ++j;
+        }
+
+        size_t fillBegin = begin > opts.fill ? begin - opts.fill : 0;
+        fillBegin = std::max(fillBegin, core.sampleCursor());
+        size_t touchFrom =
+            fillBegin > opts.warm ? fillBegin - opts.warm : 0;
+        core.warmupAdvance(fillBegin, touchFrom);
+        std::vector<OooCore::WindowTiming> timings =
+            core.runSampleWindows(segs, segs.back().end + kOverrunOps);
+        for (size_t s = 0; s < segs.size(); ++s) {
+            const OooCore::WindowTiming& t = timings[s];
+            if (t.ops == 0)
+                continue;
+            measured.push_back(Measured{
+                static_cast<double>(t.cycles) / static_cast<double>(t.ops),
+                weights[s], t.ops });
+            measuredOps += t.ops;
+        }
+        i = j;
+    }
+
+    RunResult r = core.sampledResult();
+    if (r.goldenCheckFailed)
+        panic("sampled window failed golden check: " +
+              r.goldenCheckMessage);
+    if (measured.empty())
+        panic("sampled run measured no windows (trace " + trace.name + ")");
+
+    // Weighted-CPI extrapolation with a dispersion-based interval: the
+    // weighted spread of per-cluster CPIs stands in for within-cluster
+    // variance (one sample per cluster), a SimPoint-style heuristic that
+    // is exact when phases cluster cleanly and conservative when not.
+    double wsum = 0;
+    for (const Measured& m : measured)
+        wsum += m.weight;
+    double cpi = 0;
+    for (const Measured& m : measured)
+        cpi += (m.weight / wsum) * m.cpi;
+    double var = 0;
+    for (const Measured& m : measured)
+        var += (m.weight / wsum) * (m.cpi - cpi) * (m.cpi - cpi);
+    double se = measured.size() > 1
+                    ? std::sqrt(var / static_cast<double>(measured.size() -
+                                                          1))
+                    : 0.0;
+    double ci95 = 1.96 * se;
+
+    double estCycles = cpi * totalOps;
+    r.cycles = static_cast<Cycle>(std::llround(estCycles));
+    r.instructions = trace.ops.size();
+    r.threadInstructions[0] = trace.ops.size();
+    r.threadFinishCycle[0] = r.cycles;
+    r.stats.set("cycles", static_cast<double>(r.cycles));
+    r.stats.set("instructions", static_cast<double>(r.instructions));
+    r.stats.set("ipc", r.ipc());
+    r.stats.set("sample.enabled", 1.0);
+    r.stats.set("sample.phases", static_cast<double>(opts.phases));
+    r.stats.set("sample.window", static_cast<double>(opts.window));
+    r.stats.set("sample.windows", static_cast<double>(measured.size()));
+    r.stats.set("sample.coverage",
+                static_cast<double>(measuredOps) / totalOps);
+    r.stats.set("sample.cpi", cpi);
+    r.stats.set("sample.cpi.ci95", ci95);
+    r.stats.set("sample.cycles.ci95", ci95 * totalOps);
+    return r;
+}
+
+} // namespace constable

@@ -184,21 +184,80 @@ parsePerfPresets(const std::string& json)
 }
 
 /**
+ * Mean observed per-config compute seconds from the `.cost` sidecars
+ * committed next to cell checkpoints (workerPass writes one per computed
+ * cell). Resumed or partially complete sweeps thus order claims by what
+ * cells of THIS sweep actually cost on THIS machine — strictly better
+ * information than any static prior. Empty when no sidecar is readable.
+ */
+std::vector<double>
+observedConfigCosts(const std::string& dir, const SweepManifest& m)
+{
+    std::vector<double> sum(m.numConfigs, 0.0);
+    std::vector<size_t> cnt(m.numConfigs, 0);
+    size_t seen = 0;
+    for (size_t c = 0; c < m.numCells(); ++c) {
+        std::string text;
+        if (!readFileText(cellFilePath(dir, m, c) + ".cost", text))
+            continue;
+        double sec = std::strtod(text.c_str(), nullptr);
+        if (!(sec > 0.0))
+            continue;
+        sum[c % m.numConfigs] += sec;
+        ++cnt[c % m.numConfigs];
+        ++seen;
+    }
+    if (seen == 0)
+        return {};
+    std::vector<double> cost(m.numConfigs, 0.0);
+    double total = 0.0;
+    size_t known = 0;
+    for (size_t c = 0; c < m.numConfigs; ++c) {
+        if (cnt[c] > 0) {
+            cost[c] = sum[c] / static_cast<double>(cnt[c]);
+            total += cost[c];
+            ++known;
+        }
+    }
+    // Configs with no observation yet get the mean observed cost, same
+    // neutral treatment as unknown presets under the static prior.
+    double fallback = total / static_cast<double>(known);
+    for (size_t c = 0; c < m.numConfigs; ++c) {
+        if (cost[c] == 0.0)
+            cost[c] = fallback;
+    }
+    return cost;
+}
+
+/**
  * The order a worker scans cells for claiming. Default: stride rotation
  * by shard id (freshly launched fleets fan out instead of racing on cell
- * 0). With a cost model (a prior BENCH_perf.json), the most expensive
- * configs come first -- cost = 1 / recorded Mops/s, rows ascending within
- * a config -- which shrinks the tail where one worker holds the last big
- * cell while everyone else polls. Claim order never affects results
- * (cells are deterministic); only wall-clock.
+ * 0). With cost information, the most expensive configs come first --
+ * rows ascending within a config -- which shrinks the tail where one
+ * worker holds the last big cell while everyone else polls. Observed
+ * per-cell wall-clock from this sweep's `.cost` sidecars takes priority;
+ * the static `--cost-model` prior (a BENCH_perf.json, cost = 1 / recorded
+ * Mops/s) is the fallback for fresh directories. Claim order never
+ * affects results (cells are deterministic); only wall-clock.
  */
 std::vector<size_t>
-buildClaimOrder(const SweepManifest& m, const ShardOptions& opts)
+buildClaimOrder(const std::string& dir, const SweepManifest& m,
+                const ShardOptions& opts)
 {
     const size_t n = m.numCells();
     std::vector<size_t> order(n);
     for (size_t i = 0; i < n; ++i)
         order[i] = i;
+
+    std::vector<double> observed = observedConfigCosts(dir, m);
+    if (!observed.empty()) {
+        std::stable_sort(order.begin(), order.end(),
+                         [&](size_t a, size_t b) {
+                             return observed[a % m.numConfigs] >
+                                    observed[b % m.numConfigs];
+                         });
+        return order;
+    }
 
     if (!opts.costModelPath.empty()) {
         std::string json;
@@ -345,10 +404,15 @@ workerPass(WorkerCtx& ctx)
             // Keep the lease fresh for as long as the cell computes (and
             // commits): the TTL can now be shorter than a cell.
             LeaseHeartbeat heartbeat(lp, ctx.opts.leaseTtlSec);
+            auto computeStart = std::chrono::steady_clock::now();
             RunResult r = [&] {
                 ObsSpan span("cell.compute", "cell");
                 return ctx.compute(c);
             }();
+            double computeSec = std::chrono::duration<double>(
+                                    std::chrono::steady_clock::now() -
+                                    computeStart)
+                                    .count();
             cellOps = r.instructions;
             // Commit-time ownership check: if the heartbeat stalled past
             // the TTL, a reclaimer owns this cell now — committing over
@@ -376,6 +440,16 @@ workerPass(WorkerCtx& ctx)
                 fatal("shard worker cannot write cell checkpoint in '" +
                       ctx.dir + "'");
             }
+            // Advisory wall-clock sidecar: later claim passes (and
+            // resumed sweeps) order by observed per-config cost instead
+            // of the static BENCH prior. Best-effort by design — a lost
+            // sidecar only costs scheduling quality, never correctness.
+            char costBuf[32];
+            int costLen = std::snprintf(costBuf, sizeof(costBuf), "%.6f\n",
+                                        computeSec);
+            writeFileAtomic(cellFilePath(ctx.dir, ctx.m, c) + ".cost",
+                            std::vector<uint8_t>(costBuf,
+                                                 costBuf + costLen));
         }
         // Commit precedes release: between saveRunResult's rename and
         // removeLease, observers see both the cell file and the lease,
@@ -445,7 +519,7 @@ forkWorkers(const std::string& dir, const SweepManifest& m,
             w.batch.threads = 1; // never touch the inherited pool
             WorkerCtx ctx { dir, m, compute, w, {}, {}, {} };
             ctx.done.assign(m.numCells(), 0);
-            ctx.claimOrder = buildClaimOrder(m, w);
+            ctx.claimOrder = buildClaimOrder(dir, m, w);
             workerLoop(ctx);
             // _exit() skips the atexit trace/metrics writers on purpose
             // (they belong to the coordinator); hand the child's obs state
@@ -635,7 +709,7 @@ runShardedCells(const std::string& dir, const SweepManifest& m,
         // so every shard returns the same full result.
         WorkerCtx ctx { dir, m, compute, opts, outcome, {}, {} };
         ctx.done.assign(m.numCells(), 0);
-        ctx.claimOrder = buildClaimOrder(m, opts);
+        ctx.claimOrder = buildClaimOrder(dir, m, opts);
         workerLoop(ctx);
         outcome = ctx.outcome;
         mergeShardedCells(dir, m, &compute, out, opts, outcome);
@@ -649,7 +723,7 @@ runShardedCells(const std::string& dir, const SweepManifest& m,
     // No fork(): compute everything here, still via the lease protocol.
     WorkerCtx ctx { dir, m, compute, opts, outcome, {}, {} };
     ctx.done.assign(m.numCells(), 0);
-    ctx.claimOrder = buildClaimOrder(m, opts);
+    ctx.claimOrder = buildClaimOrder(dir, m, opts);
     workerLoop(ctx);
     outcome = ctx.outcome;
 #endif

@@ -1,0 +1,9 @@
+// Must trip layering: the sample node (layer 5) reaching up into the
+// rest of sim/ (layer 6) — sim/experiment.cc dispatches into sampling,
+// never the reverse.
+#include "sim/experiment.hh"
+
+void
+samplePass()
+{
+}

@@ -86,6 +86,13 @@ TEST(Lint, LayeringFires)
     expectRuleFires("fail_layering", "layering");
 }
 
+TEST(Lint, LayeringSampleNodeFires)
+{
+    // sim/sample.{hh,cc} is its own DAG node below the rest of sim/:
+    // including sim/experiment.hh from it must trip layering.
+    expectRuleFires("fail_layering_sample", "layering");
+}
+
 TEST(Lint, EnvDocFires)
 {
     expectRuleFires("fail_env_doc", "env-doc");

@@ -250,8 +250,9 @@ layerTable()
         { "predictor", 2 }, { "trace", 2 }, { "vp", 2 },
         { "inspector", 3 }, { "workloads", 3 },
         { "cpu", 4 },
-        { "sim", 5 },
-        { "serve", 6 },
+        { "sample", 5 },
+        { "sim", 6 },
+        { "serve", 7 },
     };
     return layers;
 }
@@ -274,6 +275,16 @@ isObsFile(const std::string& path)
            pathEndsWith(path, "common/obs.cc");
 }
 
+/** The phase-sampling pair is its own DAG node between cpu/ and the rest
+ *  of sim/: it may use the core but not sim/'s runner/experiment surface
+ *  (sim/experiment.cc dispatches INTO it, never the reverse). */
+bool
+isSampleFile(const std::string& path)
+{
+    return pathEndsWith(path, "sim/sample.hh") ||
+           pathEndsWith(path, "sim/sample.cc");
+}
+
 void
 checkLayering(const SourceFile& sf, std::vector<Violation>& out)
 {
@@ -282,6 +293,8 @@ checkLayering(const SourceFile& sf, std::vector<Violation>& out)
     std::string ownDir = sf.relDir.substr(4);
     if (isObsFile(sf.path))
         ownDir = "obs";
+    if (isSampleFile(sf.path))
+        ownDir = "sample";
     auto own = layerTable().find(ownDir);
     if (own == layerTable().end()) {
         out.push_back({ sf.path, 1, "layering",
@@ -311,6 +324,8 @@ checkLayering(const SourceFile& sf, std::vector<Violation>& out)
         std::string incDir = inc.substr(0, slash);
         if (inc == "common/obs.hh")
             incDir = "obs";
+        if (inc == "sim/sample.hh")
+            incDir = "sample";
         auto tgt = layerTable().find(incDir);
         if (tgt == layerTable().end()) {
             out.push_back({ sf.path, l + 1, "layering",
@@ -330,8 +345,8 @@ checkLayering(const SourceFile& sf, std::vector<Violation>& out)
                             std::to_string(tgt->second) +
                             "); dependencies flow strictly downward "
                             "(common < isa < core/mem/power/predictor/"
-                            "trace/vp < inspector/workloads < cpu < sim "
-                            "< serve)" });
+                            "trace/vp < inspector/workloads < cpu < "
+                            "sample < sim < serve)" });
         }
     }
 }

@@ -24,7 +24,10 @@
  */
 
 #include <algorithm>
+#include <chrono>
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <string>
@@ -92,11 +95,67 @@ statusMain(const ExperimentOptions& opts)
     return 0;
 }
 
+/** The --sample-check verb: run the full preset matrix twice over the
+ *  same suite — full fidelity and phase-sampled — and gate the per-preset
+ *  geomean cycle error against @p bound_pct. This is the accuracy contract
+ *  behind the README's error-bound claim; CI runs it on every push. */
+int
+sampleCheckMain(ExperimentOptions opts, double bound_pct)
+{
+    using clock = std::chrono::steady_clock;
+    if (!opts.sample.enabled)
+        opts.sample.enabled = true; // struct defaults = the tuned spec
+    ExperimentOptions fullOpts = opts;
+    fullOpts.sample = SampleOptions{}; // full fidelity
+
+    Suite suite = Suite::prepare(opts, /*inspect=*/true);
+
+    auto t0 = clock::now();
+    Experiment fullExp = presetExperiment(suite, fullOpts);
+    ExperimentResult full = fullExp.run();
+    auto t1 = clock::now();
+    Experiment sampExp = presetExperiment(suite, opts);
+    ExperimentResult samp = sampExp.run();
+    auto t2 = clock::now();
+    double fullSec = std::chrono::duration<double>(t1 - t0).count();
+    double sampSec = std::chrono::duration<double>(t2 - t1).count();
+
+    std::printf("sample-check: spec=%s bound=%.2f%% rows=%zu\n",
+                opts.sample.spec().c_str(), bound_pct, full.numRows());
+    std::printf("%-24s %12s %12s\n", "preset", "geomean-err", "max-row-err");
+    bool pass = true;
+    for (const MechanismPreset& p : MechanismRegistry::instance().presets()) {
+        size_t cfg = full.configIndex(p.name);
+        double logSum = 0.0;
+        double maxErr = 0.0;
+        for (size_t row = 0; row < full.numRows(); ++row) {
+            double f = static_cast<double>(full.at(row, cfg).cycles);
+            double s = static_cast<double>(samp.at(row, cfg).cycles);
+            double ratio = s / f;
+            logSum += std::log(ratio);
+            maxErr = std::max(maxErr, std::fabs(ratio - 1.0));
+        }
+        double geo = std::exp(logSum / static_cast<double>(full.numRows()));
+        double err = std::fabs(geo - 1.0) * 100.0;
+        bool ok = err <= bound_pct;
+        pass = pass && ok;
+        std::printf("%-24s %+11.3f%% %11.3f%%%s\n", p.name.c_str(),
+                    (geo - 1.0) * 100.0, maxErr * 100.0,
+                    ok ? "" : "  <-- over bound");
+    }
+    std::printf("wall: full %.2fs, sampled %.2fs (%.1fx)\n", fullSec,
+                sampSec, sampSec > 0 ? fullSec / sampSec : 0.0);
+    std::printf("sample-check: %s\n", pass ? "PASS" : "FAIL");
+    return pass ? 0 : 1;
+}
+
 int
 sweepMain(int argc, char** argv)
 {
     bool mergeOnly = false;
     bool statusOnly = false;
+    bool sampleCheck = false;
+    double sampleCheckBound = 3.0;
     std::vector<char*> rest;
     rest.push_back(argc > 0 ? argv[0] : const_cast<char*>("constable-sweep"));
     for (int i = 1; i < argc; ++i) {
@@ -104,6 +163,14 @@ sweepMain(int argc, char** argv)
             mergeOnly = true;
         } else if (std::strcmp(argv[i], "--status") == 0) {
             statusOnly = true;
+        } else if (std::strncmp(argv[i], "--sample-check", 14) == 0) {
+            sampleCheck = true;
+            if (argv[i][14] == '=')
+                sampleCheckBound = std::strtod(argv[i] + 15, nullptr);
+            if (argv[i][14] != '\0' && argv[i][14] != '=')
+                fatal(std::string("unknown option ") + argv[i]);
+            if (!(sampleCheckBound > 0))
+                fatal("--sample-check bound must be a positive percentage");
         } else {
             if (std::strcmp(argv[i], "--help") == 0 ||
                 std::strcmp(argv[i], "-h") == 0) {
@@ -115,7 +182,13 @@ sweepMain(int argc, char** argv)
                     "  --status       pretty-print the live status.json of\n"
                     "                 the sweep(s) under --checkpoint-dir\n"
                     "                 and exit; works from another process\n"
-                    "                 while the sweep runs\n");
+                    "                 while the sweep runs\n"
+                    "  --sample-check[=PCT]\n"
+                    "                 run the preset matrix full-fidelity\n"
+                    "                 AND sampled (--sample spec, or the\n"
+                    "                 default), then fail if any preset's\n"
+                    "                 geomean cycle error exceeds PCT\n"
+                    "                 (default 3%%)\n");
             }
             rest.push_back(argv[i]);
         }
@@ -126,6 +199,8 @@ sweepMain(int argc, char** argv)
 
     if (statusOnly)
         return statusMain(opts);
+    if (sampleCheck)
+        return sampleCheckMain(opts, sampleCheckBound);
 
     // --mech / --scenario run a named registry sweep instead of the full
     // 16-preset matrix (sim/scenario.hh).
